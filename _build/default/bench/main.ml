@@ -1,0 +1,607 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see EXPERIMENTS.md for the paper-vs-measured
+   record) plus Bechamel micro-benchmarks of the analyses themselves.
+
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- table1    # one experiment
+*)
+
+open Linalg
+
+let section title =
+  Format.printf "@.=============================================================@.";
+  Format.printf "== %s@." title;
+  Format.printf "=============================================================@."
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: data movements on the CM-5 model                           *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table 1 - execution times for data movements (CM-5 model)";
+  let m = Machine.Models.cm5 () in
+  let bytes = 256 in
+  let red = Machine.Models.reduce_time m ~bytes in
+  let bc = Machine.Models.broadcast_time m ~bytes in
+  let tr = Machine.Models.translation_time m ~bytes in
+  let gen = Machine.Models.general_time m ~bytes in
+  Format.printf "%-22s %10s %10s@." "movement" "time" "ratio";
+  let row name t = Format.printf "%-22s %10.1f %10.2f@." name t (t /. red) in
+  row "reduction" red;
+  row "broadcast" bc;
+  row "translation" tr;
+  row "general communication" gen;
+  Format.printf "paper's shape: reduction ~ broadcast << translation << general;@.";
+  Format.printf "general/broadcast = %.1f (paper: an order of magnitude)@."
+    (gen /. bc)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: decomposing versus not decomposing on the Paragon          *)
+(* ------------------------------------------------------------------ *)
+
+let paper_t = Mat.of_lists [ [ 1; 2 ]; [ 3; 7 ] ]
+let paper_l = Mat.of_lists [ [ 1; 0 ]; [ 3; 1 ] ]
+let paper_u = Mat.of_lists [ [ 1; 2 ]; [ 0; 1 ] ]
+
+let table2 () =
+  section "Table 2 - decomposing T = L.U on the Paragon model";
+  Format.printf "T = %a = %a . %a (found: %a)@." Mat.pp_flat paper_t Mat.pp_flat
+    paper_l Mat.pp_flat paper_u Decomp.Decompose.pp_factors
+    (Option.get (Decomp.Decompose.min_factors paper_t));
+  let par = Machine.Models.paragon () in
+  let vgrid = [| 64; 32 |] in
+  let layout = Distrib.Layout.all_cyclic 2 in
+  let direct =
+    Distrib.Foldsim.time ~coalesce:false par ~layout ~vgrid ~flow:paper_t ()
+  in
+  let phases =
+    Distrib.Foldsim.decomposed_time par ~layout ~vgrid ~factors:[ paper_l; paper_u ] ()
+  in
+  match phases with
+  | [ u_phase; l_phase ] ->
+    let tl = l_phase.Machine.Netsim.time and tu = u_phase.Machine.Netsim.time in
+    let td = direct.Machine.Netsim.time in
+    Format.printf "%-18s %10s %12s@." "communication" "time" "ratio (L=1)";
+    let row name t = Format.printf "%-18s %10.1f %12.2f@." name t (t /. tl) in
+    row "not decomposed" td;
+    row "L" tl;
+    row "U" tu;
+    row "L.U" (tl +. tu);
+    Format.printf "direct / decomposed = %.2f (paper: decomposing wins)@."
+      (td /. (tl +. tu))
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Figures 1-3: access graph and branching of Example 1                *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  section "Figure 1 - access graph of Example 1 (matrix weights)";
+  let nest = Nestir.Paper_examples.example1 () in
+  let g = Alignment.Access_graph.build ~m:2 nest in
+  List.iter
+    (fun e ->
+      if e.Alignment.Access_graph.forward then
+        Format.printf "  %s -> %s   weight@.%a@."
+          (Alignment.Access_graph.vertex_name e.Alignment.Access_graph.e_src)
+          (Alignment.Access_graph.vertex_name e.Alignment.Access_graph.e_dst)
+          Ratmat.pp e.Alignment.Access_graph.weight)
+    g.Alignment.Access_graph.edges;
+  List.iter
+    (fun (s, l) -> Format.printf "  excluded (rank-deficient): %s in %s@." l s)
+    g.Alignment.Access_graph.excluded
+
+let fig2 () =
+  section "Figure 2 - access graph with integer (volume) weights";
+  let nest = Nestir.Paper_examples.example1 () in
+  let g = Alignment.Access_graph.build ~m:2 nest in
+  List.iter
+    (fun e ->
+      if e.Alignment.Access_graph.forward then
+        Format.printf "  %s -> %s   [%s, volume %d]@."
+          (Alignment.Access_graph.vertex_name e.Alignment.Access_graph.e_src)
+          (Alignment.Access_graph.vertex_name e.Alignment.Access_graph.e_dst)
+          e.Alignment.Access_graph.label e.Alignment.Access_graph.volume)
+    g.Alignment.Access_graph.edges
+
+let fig3 () =
+  section "Figure 3 - a maximum branching";
+  let nest = Nestir.Paper_examples.example1 () in
+  let t = Alignment.Alloc.run ~m:2 nest in
+  Format.printf "branching edges:@.";
+  List.iter
+    (fun e ->
+      Format.printf "  %s -> %s   [%s]@."
+        (Alignment.Access_graph.vertex_name e.Alignment.Access_graph.e_src)
+        (Alignment.Access_graph.vertex_name e.Alignment.Access_graph.e_dst)
+        e.Alignment.Access_graph.label)
+    t.Alignment.Alloc.branching;
+  Format.printf "added in step 1c:";
+  List.iter
+    (fun e -> Format.printf " %s" e.Alignment.Access_graph.label)
+    t.Alignment.Alloc.added;
+  Format.printf "@.%d of 8 in-graph accesses local; residual:"
+    (List.length t.Alignment.Alloc.local);
+  List.iter (fun (s, l) -> Format.printf " %s/%s" s l) t.Alignment.Alloc.residual;
+  Format.printf "@.both volume-3 edges zeroed out: %b (paper: yes)@."
+    (Alignment.Alloc.is_local t ~stmt:"S2" ~label:"F5"
+    && Alignment.Alloc.is_local t ~stmt:"S3" ~label:"F7")
+
+(* ------------------------------------------------------------------ *)
+(* Figures 4-5: total and partial broadcasts                           *)
+(* ------------------------------------------------------------------ *)
+
+let draw_broadcast ~title ~grid:(p, q) ~src ~dests =
+  Format.printf "%s@." title;
+  for y = q - 1 downto 0 do
+    Format.printf "   ";
+    for x = 0 to p - 1 do
+      if (x, y) = src then Format.printf " S"
+      else if List.mem (x, y) dests then Format.printf " *"
+      else Format.printf " ."
+    done;
+    Format.printf "@."
+  done
+
+let fig45 () =
+  section "Figures 4-5 - complete and partial broadcast (m = 2)";
+  let all = List.concat (List.init 4 (fun x -> List.init 4 (fun y -> (x, y)))) in
+  draw_broadcast ~title:"complete broadcast (p = 2):" ~grid:(4, 4) ~src:(1, 1)
+    ~dests:all;
+  draw_broadcast ~title:"partial broadcast along one axis (p = 1):" ~grid:(4, 4)
+    ~src:(1, 1)
+    ~dests:(List.init 4 (fun x -> (x, 1)));
+  let f6 = Nestir.Paper_examples.example1_f 6 in
+  let ms = Mat.of_lists [ [ 1; 1; 0 ]; [ 0; 1; 0 ] ] in
+  (match Macrocomm.Broadcast.detect ~theta:(Mat.zero 1 3) ~f:f6 ~ms with
+  | Some info ->
+    Format.printf "example 1, F6 before rotation: %a@." Macrocomm.Broadcast.pp info
+  | None -> ());
+  let v = Option.get (Macrocomm.Axis.aligning_matrix (Mat.of_col [| 1; -1 |])) in
+  match Macrocomm.Broadcast.detect ~theta:(Mat.zero 1 3) ~f:f6 ~ms:(Mat.mul v ms) with
+  | Some info ->
+    Format.printf "after rotation by %a: %a@." Mat.pp_flat v Macrocomm.Broadcast.pp
+      info
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Figures 6-7: the grouped partition                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  section "Figure 6 - grouped partition of one row (k = 3, 12 virtual, P = 4)";
+  Distrib.Grouped.figure6 Format.std_formatter ~k:3 ~nv:12 ~np:4
+
+let fig7 () =
+  section "Figure 7 - 2-D grouped partition for T = L.U";
+  Distrib.Grouped.figure7 Format.std_formatter ~vgrid:(10, 6) ~pgrid:(5, 3) ~ku:2
+    ~kl:3
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: distributions versus the grouped partition                *)
+(* ------------------------------------------------------------------ *)
+
+let fig8_config name par =
+  Format.printf "--- %s ---@." name;
+  Format.printf "%2s %12s %14s %14s %14s@." "k" "grouped" "CYCLIC/grp" "BLOCK/grp"
+    "CYCLIC(8)/grp";
+  let vgrid = [| 840; 8 |] in
+  List.iter
+    (fun k ->
+      let uk = Mat.of_lists [ [ 1; k ]; [ 0; 1 ] ] in
+      let t scheme =
+        (Distrib.Foldsim.time par
+           ~layout:[| scheme; Distrib.Layout.Block |]
+           ~vgrid ~flow:uk ())
+          .Machine.Netsim.time
+      in
+      let tg = t (Distrib.Layout.Grouped k) in
+      if tg = 0.0 then
+        Format.printf "%2d %12s %14s %14s %14s@." k "(all local)" "-" "-" "-"
+      else
+        Format.printf "%2d %12.1f %14.2f %14.2f %14.2f@." k tg
+          (t Distrib.Layout.Cyclic /. tg)
+          (t Distrib.Layout.Block /. tg)
+          (t (Distrib.Layout.Cyclic_block 8) /. tg))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let fig8 () =
+  section "Figure 8 - U_k under standard distributions over grouped partition";
+  fig8_config "(a) 8x4 mesh" (Machine.Models.paragon ~p:8 ~q:4 ());
+  fig8_config "(b) 16x4 mesh" (Machine.Models.paragon ~p:16 ~q:4 ());
+  fig8_config "(c) 16x8 mesh" (Machine.Models.paragon ~p:16 ~q:8 ());
+  (* adoption cost: switching an existing BLOCK layout to grouped *)
+  Format.printf "@.redistribution break-even (BLOCK -> GROUPED(k), 16x4 mesh):@.";
+  let par = Machine.Models.paragon ~p:16 ~q:4 () in
+  List.iter
+    (fun k ->
+      let uk = Mat.of_lists [ [ 1; k ]; [ 0; 1 ] ] in
+      match
+        Distrib.Redistribute.break_even par ~vgrid:[| 840; 8 |]
+          ~from_layout:[| Distrib.Layout.Block; Distrib.Layout.Block |]
+          ~to_layout:[| Distrib.Layout.Grouped k; Distrib.Layout.Block |]
+          ~flow:uk ()
+      with
+      | Some n -> Format.printf "  k=%d: pays off after %d repetitions@." k n
+      | None -> Format.printf "  k=%d: grouped never wins here@." k)
+    [ 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Example 1 end-to-end                                                *)
+(* ------------------------------------------------------------------ *)
+
+let example1 () =
+  section "Example 1 - the complete walkthrough (paper 2-3)";
+  let nest = Nestir.Paper_examples.example1 () in
+  let r = Resopt.Pipeline.run ~m:2 nest in
+  Format.printf "%a@." Resopt.Pipeline.pp r;
+  let s = Resopt.Pipeline.summary r in
+  Format.printf
+    "tally: %d local (incl. constant shifts), %d broadcasts, %d decomposed, %d general@."
+    (s.Resopt.Commplan.local + s.Resopt.Commplan.translations)
+    s.Resopt.Commplan.broadcasts s.Resopt.Commplan.decomposed
+    s.Resopt.Commplan.general
+
+(* ------------------------------------------------------------------ *)
+(* 4.2 exhaustive search                                               *)
+(* ------------------------------------------------------------------ *)
+
+let search () =
+  section "Section 4.2 - exhaustive verification: <= 4 elementary factors";
+  List.iter
+    (fun bound ->
+      let h = Decomp.Search.factor_histogram ~bound in
+      Format.printf "%a@." Decomp.Search.pp h)
+    [ 3; 6; 10 ]
+
+let similarity () =
+  section "Section 4.2.2 - similarity to a two-factor product";
+  List.iter
+    (fun (bound, conj_bound) ->
+      let total, suff, srch = Decomp.Search.similarity_histogram ~bound ~conj_bound in
+      Format.printf
+        "|entries| <= %d (conjugators <= %d): %d matrices, %d by sufficient condition, %d by search@."
+        bound conj_bound total suff srch)
+    [ (2, 2); (3, 3) ];
+  let t = Mat.of_lists [ [ -1; -5 ]; [ 0; -1 ] ] in
+  Format.printf
+    "negative witness %a (trace %d, discriminant %d): sufficient %b, search(4) %b@."
+    Mat.pp_flat t (Mat.trace t)
+    (Decomp.Similarity.discriminant t)
+    (Decomp.Similarity.sufficient t <> None)
+    (Decomp.Similarity.search ~bound:4 t <> None)
+
+(* ------------------------------------------------------------------ *)
+(* 7.2 Platonoff comparison                                            *)
+(* ------------------------------------------------------------------ *)
+
+let platonoff () =
+  section "Section 7.2 - heuristic ordering: ours vs Platonoff (Example 5)";
+  let w = Resopt.Workloads.find "example5" in
+  let nest = w.Resopt.Workloads.nest and schedule = w.Resopt.Workloads.schedule in
+  let ours = Resopt.Pipeline.run ~m:2 ~schedule nest in
+  let plat = Resopt.Platonoff.run ~m:2 ~schedule nest in
+  Format.printf "%-28s %14s@." "strategy" "non-local";
+  Format.printf "%-28s %14d@." "ours (zero out first)" (Resopt.Pipeline.non_local ours);
+  Format.printf "%-28s %14d  (n broadcasts at runtime)@." "Platonoff (macro first)"
+    (Resopt.Platonoff.non_local plat);
+  Format.printf "reserved by Platonoff:";
+  List.iter (fun (s, l) -> Format.printf " %s/%s" s l) plat.Resopt.Platonoff.reserved;
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  section "Ablations";
+  Format.printf "step 2 of the heuristic (macro + decomposition) on vs off:@.";
+  Format.printf "%-12s %8s | %8s %8s %8s | %12s@." "workload" "locals" "macros"
+    "decomp" "general" "general(off)";
+  List.iter
+    (fun (w : Resopt.Workloads.t) ->
+      let nest = w.Resopt.Workloads.nest and schedule = w.Resopt.Workloads.schedule in
+      let on = Resopt.Pipeline.summary (Resopt.Pipeline.run ~schedule nest) in
+      let off = Resopt.Feautrier.summary (Resopt.Feautrier.run ~schedule nest) in
+      Format.printf "%-12s %8d | %8d %8d %8d | %12d@." w.Resopt.Workloads.name
+        (on.Resopt.Commplan.local + on.Resopt.Commplan.translations)
+        (on.Resopt.Commplan.reductions + on.Resopt.Commplan.broadcasts
+        + on.Resopt.Commplan.scatters + on.Resopt.Commplan.gathers)
+        on.Resopt.Commplan.decomposed on.Resopt.Commplan.general
+        off.Resopt.Commplan.general)
+    (Resopt.Workloads.all ());
+  Format.printf "@.similarity vs direct decomposition (T with c | a-1, a <> 1):@.";
+  let t = Mat.of_lists [ [ 3; 4 ]; [ 2; 3 ] ] in
+  (match Decomp.Decompose.min_factors t with
+  | Some fs ->
+    Format.printf "  direct: %d factors (%a)@." (List.length fs)
+      Decomp.Decompose.pp_factors fs
+  | None -> ());
+  (match Decomp.Similarity.sufficient t with
+  | Some r ->
+    Format.printf "  after conjugation by %a: %d factors (%a)@." Mat.pp_flat
+      r.Decomp.Similarity.conjugator
+      (List.length r.Decomp.Similarity.factors)
+      Decomp.Decompose.pp_factors r.Decomp.Similarity.factors
+  | None -> ());
+  (* 4. axis-alignment rotation on/off *)
+  Format.printf "@.axis-alignment rotation (step 2a) on vs off, example 1:@.";
+  let nest = Nestir.Paper_examples.example1 () in
+  let count_aligned r =
+    List.length
+      (List.filter
+         (fun (e : Resopt.Commplan.entry) ->
+           match e.Resopt.Commplan.classification with
+           | Resopt.Commplan.Broadcast i -> i.Macrocomm.Broadcast.axis_aligned
+           | _ -> false)
+         r.Resopt.Pipeline.plan)
+  in
+  let with_rot = Resopt.Pipeline.run ~m:2 nest in
+  let without = Resopt.Pipeline.run ~m:2 ~axis_align:false nest in
+  Format.printf "  axis-aligned broadcasts: %d (on) vs %d (off)@."
+    (count_aligned with_rot) (count_aligned without);
+  Format.printf "@.grouped partition with mismatched k (U_4 communication):@.";
+  let par = Machine.Models.paragon ~p:16 ~q:4 () in
+  let u4 = Mat.of_lists [ [ 1; 4 ]; [ 0; 1 ] ] in
+  List.iter
+    (fun k ->
+      let t =
+        (Distrib.Foldsim.time par
+           ~layout:[| Distrib.Layout.Grouped k; Distrib.Layout.Block |]
+           ~vgrid:[| 840; 8 |] ~flow:u4 ())
+          .Machine.Netsim.time
+      in
+      Format.printf "  GROUPED(%d): %.1f@." k t)
+    [ 1; 2; 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Plan cost: the headline comparison                                  *)
+(* ------------------------------------------------------------------ *)
+
+let plancost () =
+  section "Plan cost - two-step heuristic vs step 1 only, per machine model";
+  let models =
+    [ Machine.Models.cm5 (); Machine.Models.paragon (); Machine.Models.t3d () ]
+  in
+  List.iter
+    (fun model ->
+      Format.printf "--- %s model ---@." model.Machine.Models.name;
+      Format.printf "%-12s %14s %14s %10s@." "workload" "optimized" "step-1 only"
+        "gain";
+      List.iter
+        (fun (w : Resopt.Workloads.t) ->
+          let nest = w.Resopt.Workloads.nest
+          and schedule = w.Resopt.Workloads.schedule in
+          let on = Resopt.Pipeline.run ~schedule nest in
+          let off = Resopt.Feautrier.run ~schedule nest in
+          let c_on =
+            (Resopt.Cost.of_plan model on.Resopt.Pipeline.plan).Resopt.Cost.total
+          in
+          let c_off =
+            (Resopt.Cost.of_plan model off.Resopt.Feautrier.plan).Resopt.Cost.total
+          in
+          Format.printf "%-12s %14.1f %14.1f %9.2fx@." w.Resopt.Workloads.name c_on
+            c_off
+            (if c_on > 0.0 then c_off /. c_on else Float.infinity))
+        (Resopt.Workloads.all ()))
+    models
+
+(* ------------------------------------------------------------------ *)
+(* Sweep: the full summary table                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sweep () =
+  section "Sweep - every workload x machine model, optimized vs baseline";
+  Resopt.Sweep.pp_table Format.std_formatter (Resopt.Sweep.run ())
+
+(* ------------------------------------------------------------------ *)
+(* Event-driven cross-validation of Table 2                            *)
+(* ------------------------------------------------------------------ *)
+
+let eventsim () =
+  section "Cross-validation - closed-form model vs store-and-forward events";
+  let par = Machine.Models.paragon () in
+  let topo = par.Machine.Models.topo in
+  let vgrid = [| 64; 32 |] in
+  let layout = Distrib.Layout.all_cyclic 2 in
+  let place v = Distrib.Layout.place layout ~vgrid ~topo v in
+  let msgs flow = Machine.Patterns.affine_messages ~vgrid ~flow ~bytes:8 ~place () in
+  let p = Machine.Eventsim.default_params in
+  let closed_direct =
+    (Distrib.Foldsim.time ~coalesce:false par ~layout ~vgrid ~flow:paper_t ())
+      .Machine.Netsim.time
+  in
+  let closed_lu =
+    Distrib.Foldsim.total_time
+      (Distrib.Foldsim.decomposed_time par ~layout ~vgrid ~factors:[ paper_l; paper_u ] ())
+  in
+  let ev_direct = (Machine.Eventsim.run topo p (msgs paper_t)).Machine.Eventsim.cycles in
+  let ev_lu =
+    List.fold_left
+      (fun acc f ->
+        acc
+        + (Machine.Eventsim.run topo p (Machine.Netsim.coalesce_messages (msgs f)))
+            .Machine.Eventsim.cycles)
+      0 [ paper_u; paper_l ]
+  in
+  Format.printf "%-22s %14s %14s@." "simulator" "direct" "decomposed";
+  Format.printf "%-22s %14.1f %14.1f  (%.1fx)@." "closed-form (time)" closed_direct
+    closed_lu (closed_direct /. closed_lu);
+  Format.printf "%-22s %14d %14d  (%.1fx)@." "event-driven (cycles)" ev_direct ev_lu
+    (float_of_int ev_direct /. float_of_int ev_lu);
+  Format.printf "both rank the decomposed sequence first: %b@."
+    (closed_lu < closed_direct && ev_lu < ev_direct);
+  Format.printf "@.sender-load heatmap of the direct pattern (8x4 mesh):@.%s"
+    (Machine.Trace.load_heatmap topo (msgs paper_t))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end program time                                             *)
+(* ------------------------------------------------------------------ *)
+
+let progtime () =
+  section "Program time - compute + per-timestep communication (CM-5 model)";
+  let model = Machine.Models.cm5 () in
+  Format.printf "%-12s %s@." "workload" "breakdown";
+  List.iter
+    (fun (w : Resopt.Workloads.t) ->
+      let r = Resopt.Pipeline.run ~schedule:w.Resopt.Workloads.schedule w.Resopt.Workloads.nest in
+      Format.printf "%-12s %a@." w.Resopt.Workloads.name Resopt.Progtime.pp
+        (Resopt.Progtime.of_pipeline ~model r))
+    (Resopt.Workloads.all ());
+  Format.printf "@.example 5, ours vs Platonoff (the whole point of §7.2):@.";
+  let w = Resopt.Workloads.find "example5" in
+  let ours = Resopt.Pipeline.run ~schedule:w.Resopt.Workloads.schedule w.Resopt.Workloads.nest in
+  let plat = Resopt.Platonoff.run ~schedule:w.Resopt.Workloads.schedule w.Resopt.Workloads.nest in
+  let t_ours = (Resopt.Progtime.of_pipeline ~model ours).Resopt.Progtime.total in
+  let t_plat = (Resopt.Progtime.of_platonoff ~model plat).Resopt.Progtime.total in
+  Format.printf "  ours %.1f vs platonoff %.1f  (%.1fx)@." t_ours t_plat
+    (t_plat /. t_ours)
+
+(* ------------------------------------------------------------------ *)
+(* Grid-dimension choice (the paper's §1 trade-off)                    *)
+(* ------------------------------------------------------------------ *)
+
+let autodim () =
+  section "Grid dimension - the larger m, the more residual cost (paper §1)";
+  List.iter
+    (fun (w : Resopt.Workloads.t) ->
+      Format.printf "--- %s ---@." w.Resopt.Workloads.name;
+      Resopt.Autodim.pp Format.std_formatter
+        (Resopt.Autodim.evaluate w.Resopt.Workloads.nest);
+      (match Resopt.Autodim.evaluate w.Resopt.Workloads.nest with
+      | [] -> ()
+      | _ ->
+        Format.printf "cheapest: m = %d@."
+          (Resopt.Autodim.best w.Resopt.Workloads.nest)))
+    (List.filter
+       (fun (w : Resopt.Workloads.t) ->
+         List.mem w.Resopt.Workloads.name [ "matmul"; "example1"; "example5" ])
+       (Resopt.Workloads.all ()))
+
+(* ------------------------------------------------------------------ *)
+(* Heuristic optimality                                                *)
+(* ------------------------------------------------------------------ *)
+
+let optimality () =
+  section "Step 1 heuristic vs the exhaustive optimum";
+  Format.printf "%-12s %10s %10s@." "workload" "heuristic" "optimal";
+  List.iter
+    (fun (w : Resopt.Workloads.t) ->
+      match Alignment.Alignopt.heuristic_gap ~m:2 w.Resopt.Workloads.nest with
+      | h, o -> Format.printf "%-12s %10d %10d%s@." w.Resopt.Workloads.name h o
+                  (if h = o then "" else "   <-- gap")
+      | exception Invalid_argument _ ->
+        Format.printf "%-12s %10s@." w.Resopt.Workloads.name "(too large)")
+    (Resopt.Workloads.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Weighting ablation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let weighting () =
+  section "Ablation - branching weights: rank (volume) vs unit";
+  Format.printf "%-12s %16s %16s@." "workload" "locals (rank)" "locals (unit)";
+  List.iter
+    (fun (w : Resopt.Workloads.t) ->
+      let nest = w.Resopt.Workloads.nest in
+      let rank_w = Alignment.Alloc.run ~m:2 nest in
+      let unit_w = Alignment.Alloc.run ~weighting:`Unit ~m:2 nest in
+      Format.printf "%-12s %16d %16d@." w.Resopt.Workloads.name
+        (List.length rank_w.Alignment.Alloc.local)
+        (List.length unit_w.Alignment.Alloc.local))
+    (Resopt.Workloads.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  section "Bechamel micro-benchmarks of the analyses";
+  let open Bechamel in
+  let nest = Nestir.Paper_examples.example1 () in
+  let big = Mat.make 6 6 (fun i j -> (((i * 7) + (j * 3) + 1) mod 11) - 5) in
+  let tests =
+    [
+      Test.make ~name:"hermite-row-6x6"
+        (Staged.stage (fun () -> ignore (Hermite.row_style big)));
+      Test.make ~name:"smith-6x6"
+        (Staged.stage (fun () -> ignore (Smith.decompose big)));
+      Test.make ~name:"access-graph-example1"
+        (Staged.stage (fun () -> ignore (Alignment.Access_graph.build ~m:2 nest)));
+      Test.make ~name:"alignment-example1"
+        (Staged.stage (fun () -> ignore (Alignment.Alloc.run ~m:2 nest)));
+      Test.make ~name:"pipeline-example1"
+        (Staged.stage (fun () -> ignore (Resopt.Pipeline.run ~m:2 nest)));
+      Test.make ~name:"decompose-paper-T"
+        (Staged.stage (fun () -> ignore (Decomp.Decompose.min_factors paper_t)));
+      Test.make ~name:"euclid-paper-T"
+        (Staged.stage (fun () -> ignore (Decomp.Decompose.euclid paper_t)));
+      Test.make ~name:"netsim-32x16-cyclic"
+        (Staged.stage (fun () ->
+             ignore
+               (Distrib.Foldsim.time (Machine.Models.paragon ())
+                  ~layout:(Distrib.Layout.all_cyclic 2) ~vgrid:[| 32; 16 |]
+                  ~flow:paper_t ())));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let results =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          instance raw
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Format.printf "  %-28s %12.1f ns/run@." name est
+          | _ -> Format.printf "  %-28s (no estimate)@." name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("fig1", fig1);
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("fig45", fig45);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("example1", example1);
+    ("search", search);
+    ("similarity", similarity);
+    ("platonoff", platonoff);
+    ("plancost", plancost);
+    ("sweep", sweep);
+    ("autodim", autodim);
+    ("progtime", progtime);
+    ("optimality", optimality);
+    ("eventsim", eventsim);
+    ("weighting", weighting);
+    ("ablations", ablations);
+    ("bechamel", bechamel);
+  ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] -> List.iter (fun (_, f) -> f ()) experiments
+  | _ :: names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> f ()
+        | None ->
+          Format.eprintf "unknown experiment %s; known:%s@." name
+            (String.concat " "
+               (List.map (fun (n, _) -> " " ^ n) experiments));
+          exit 1)
+      names
+  | [] -> assert false

@@ -1,0 +1,254 @@
+(* Command-line driver: run the residual-communication optimizer on a
+   named workload and print the mapping report.
+
+     resopt-cli list
+     resopt-cli run example1 [-m 2] [--baseline platonoff|feautrier]
+     resopt-cli graph example1 [-m 2]
+     resopt-cli simulate [-k 3] [--layout grouped|block|cyclic]
+*)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List the available workloads." in
+  let run () =
+    List.iter
+      (fun (w : Resopt.Workloads.t) ->
+        Format.printf "%-12s %s@." w.Resopt.Workloads.name
+          w.Resopt.Workloads.description)
+      (Resopt.Workloads.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let workload_arg =
+  let doc = "Workload name (see $(b,list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let m_arg =
+  let doc = "Dimension of the target virtual processor grid." in
+  Arg.(value & opt int 2 & info [ "m" ] ~docv:"M" ~doc)
+
+let find_workload name =
+  match Resopt.Workloads.find name with
+  | w -> w
+  | exception Not_found ->
+    Format.eprintf "unknown workload %s; try `resopt-cli list'@." name;
+    exit 1
+
+let run_cmd =
+  let doc = "Run the two-step heuristic (or a baseline) on a workload." in
+  let baseline_arg =
+    let doc = "Baseline to run instead: $(b,platonoff) or $(b,feautrier)." in
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"NAME" ~doc)
+  in
+  let run name m baseline =
+    let w = find_workload name in
+    match baseline with
+    | None ->
+      let r = Resopt.Pipeline.run ~m ~schedule:w.Resopt.Workloads.schedule w.Resopt.Workloads.nest in
+      Format.printf "%a@." Resopt.Pipeline.pp r
+    | Some "platonoff" ->
+      let r =
+        Resopt.Platonoff.run ~m ~schedule:w.Resopt.Workloads.schedule
+          w.Resopt.Workloads.nest
+      in
+      Format.printf "%a@." Resopt.Platonoff.pp r
+    | Some "feautrier" ->
+      let r =
+        Resopt.Feautrier.run ~m ~schedule:w.Resopt.Workloads.schedule
+          w.Resopt.Workloads.nest
+      in
+      Format.printf "Feautrier baseline (step 1 only):@.%a@\nsummary: %a@."
+        Resopt.Commplan.pp r.Resopt.Feautrier.plan Resopt.Commplan.pp_summary
+        (Resopt.Feautrier.summary r)
+    | Some other ->
+      Format.eprintf "unknown baseline %s@." other;
+      exit 1
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ workload_arg $ m_arg $ baseline_arg)
+
+let graph_cmd =
+  let doc = "Print the access graph of a workload." in
+  let run name m =
+    let w = find_workload name in
+    let g = Alignment.Access_graph.build ~m w.Resopt.Workloads.nest in
+    Format.printf "%a@." Alignment.Access_graph.pp g
+  in
+  Cmd.v (Cmd.info "graph" ~doc) Term.(const run $ workload_arg $ m_arg)
+
+let codegen_cmd =
+  let doc = "Emit the mapping of a workload as HPF-style directives." in
+  let run name m =
+    let w = find_workload name in
+    let r =
+      Resopt.Pipeline.run ~m ~schedule:w.Resopt.Workloads.schedule
+        w.Resopt.Workloads.nest
+    in
+    print_string (Resopt.Codegen.emit r)
+  in
+  Cmd.v (Cmd.info "codegen" ~doc) Term.(const run $ workload_arg $ m_arg)
+
+let parse_cmd =
+  let doc =
+    "Parse a loop nest from a file in the resopt DSL and run the optimizer \
+     on it."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DSL file.")
+  in
+  let run file m =
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    match Nestir.Dsl.parse text with
+    | Error e ->
+      Format.eprintf "parse error: %s@." e;
+      exit 1
+    | Ok nest ->
+      let r = Resopt.Pipeline.run ~m nest in
+      Format.printf "%a@." Resopt.Pipeline.pp r
+  in
+  Cmd.v (Cmd.info "parse" ~doc) Term.(const run $ file_arg $ m_arg)
+
+let spmd_cmd =
+  let doc = "Emit the owner-computes SPMD skeleton for a workload." in
+  let run name m =
+    let w = find_workload name in
+    let r =
+      Resopt.Pipeline.run ~m ~schedule:w.Resopt.Workloads.schedule
+        w.Resopt.Workloads.nest
+    in
+    print_string (Resopt.Codegen.emit_spmd r)
+  in
+  Cmd.v (Cmd.info "spmd" ~doc) Term.(const run $ workload_arg $ m_arg)
+
+let autodim_cmd =
+  let doc = "Evaluate candidate grid dimensions for a workload." in
+  let run name =
+    let w = find_workload name in
+    Resopt.Autodim.pp Format.std_formatter
+      (Resopt.Autodim.evaluate w.Resopt.Workloads.nest);
+    Format.printf "cheapest: m = %d@." (Resopt.Autodim.best w.Resopt.Workloads.nest)
+  in
+  Cmd.v (Cmd.info "autodim" ~doc) Term.(const run $ workload_arg)
+
+let compile_cmd =
+  let doc =
+    "Compile a DSL nest file to an artifact bundle: mapping report, \
+     HPF directives and C-like pseudocode."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DSL file.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "resopt-out"
+      & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let run file m outdir =
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    match Nestir.Dsl.parse text with
+    | Error e ->
+      Format.eprintf "parse error: %s@." e;
+      exit 1
+    | Ok nest ->
+      let r = Resopt.Pipeline.run ~m nest in
+      (try Unix.mkdir outdir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let write name contents =
+        let oc = open_out (Filename.concat outdir name) in
+        output_string oc contents;
+        close_out oc
+      in
+      write "report.md" (Resopt.Report.markdown r);
+      write "directives.hpf" (Resopt.Codegen.emit r);
+      write "nest.c" (Nestir.Cprint.to_c nest);
+      write "nest.resopt" (Nestir.Dsl.print nest);
+      Format.printf "%s@." (Resopt.Report.summary_line r);
+      Format.printf "wrote report.md, directives.hpf, nest.c, nest.resopt to %s/@."
+        outdir
+  in
+  Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ file_arg $ m_arg $ out_arg)
+
+let fuzz_cmd =
+  let doc = "Run random nests through the optimizer and the validators." in
+  let count_arg =
+    Arg.(value & opt int 100 & info [ "n" ] ~docv:"COUNT" ~doc:"Number of nests.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed.")
+  in
+  let run count seed =
+    let ok = ref 0 and skipped = ref 0 and failed = ref 0 in
+    List.iter
+      (fun nest ->
+        match Resopt.Pipeline.run ~m:2 nest with
+        | exception Failure _ -> incr skipped
+        | r ->
+          if Resopt.Validate.is_valid r then incr ok
+          else begin
+            incr failed;
+            Format.printf "INVALID: %s@." nest.Nestir.Loopnest.nest_name
+          end)
+      (Nestir.Gennest.generate_many ~seed ~count);
+    Format.printf "fuzz: %d valid, %d unmaterializable, %d INVALID@." !ok !skipped
+      !failed;
+    if !failed > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const run $ count_arg $ seed_arg)
+
+let report_cmd =
+  let doc = "Full markdown report: plan, validation, costs, directives." in
+  let run name m =
+    let w = find_workload name in
+    let r =
+      Resopt.Pipeline.run ~m ~schedule:w.Resopt.Workloads.schedule
+        w.Resopt.Workloads.nest
+    in
+    print_string (Resopt.Report.markdown r)
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ workload_arg $ m_arg)
+
+let simulate_cmd =
+  let doc =
+    "Simulate an elementary communication U_k under a data distribution on \
+     the Paragon model."
+  in
+  let k_arg =
+    let doc = "Parameter of the elementary matrix U_k = [[1,k],[0,1]]." in
+    Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let layout_arg =
+    let doc = "Distribution: $(b,grouped), $(b,block), $(b,cyclic) or $(b,cyclicb)." in
+    Arg.(value & opt string "grouped" & info [ "layout" ] ~docv:"SCHEME" ~doc)
+  in
+  let run k layout =
+    let scheme =
+      match layout with
+      | "grouped" -> Distrib.Layout.Grouped (max 1 k)
+      | "block" -> Distrib.Layout.Block
+      | "cyclic" -> Distrib.Layout.Cyclic
+      | "cyclicb" -> Distrib.Layout.Cyclic_block 8
+      | other ->
+        Format.eprintf "unknown layout %s@." other;
+        exit 1
+    in
+    let par = Machine.Models.paragon ~p:16 ~q:4 () in
+    let uk = Linalg.Mat.of_lists [ [ 1; k ]; [ 0; 1 ] ] in
+    let stats =
+      Distrib.Foldsim.time par
+        ~layout:[| scheme; Distrib.Layout.Block |]
+        ~vgrid:[| 840; 8 |] ~flow:uk ()
+    in
+    Format.printf "U_%d under %a x BLOCK on 16x4 mesh: %a@." k
+      Distrib.Layout.pp_scheme scheme Machine.Netsim.pp_stats stats
+  in
+  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ k_arg $ layout_arg)
+
+let () =
+  let doc = "Optimize residual communications of affine loop nests (Dion, Randriamaro, Robert 1996)." in
+  let info = Cmd.info "resopt-cli" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; graph_cmd; codegen_cmd; parse_cmd; compile_cmd; report_cmd; fuzz_cmd; autodim_cmd; spmd_cmd; simulate_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_dsl.ml: Format Nestir Resopt

@@ -1,0 +1,1 @@
+examples/grand_tour.ml: Format List Machine Nestir Resopt

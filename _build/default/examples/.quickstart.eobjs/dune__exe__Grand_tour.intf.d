@@ -1,0 +1,1 @@
+examples/grand_tour.mli:

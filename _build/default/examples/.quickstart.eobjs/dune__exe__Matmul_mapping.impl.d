@@ -1,0 +1,1 @@
+examples/matmul_mapping.ml: Format List Machine Nestir Resopt

@@ -1,0 +1,1 @@
+examples/motivating.ml: Alignment Format List Nestir Resopt

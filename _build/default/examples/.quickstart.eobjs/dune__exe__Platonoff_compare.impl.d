@@ -1,0 +1,1 @@
+examples/platonoff_compare.ml: Format Machine Nestir Resopt

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Affine Dep Distrib Format List Loopnest Machine Nestir Resopt

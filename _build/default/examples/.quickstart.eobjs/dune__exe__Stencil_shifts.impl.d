@@ -1,0 +1,1 @@
+examples/stencil_shifts.ml: Distrib Format List Machine Nestir Resopt

@@ -1,0 +1,1 @@
+examples/t3d_mapping.ml: Affine Distrib Format Linalg List Loopnest Machine Mat Nestir Resopt

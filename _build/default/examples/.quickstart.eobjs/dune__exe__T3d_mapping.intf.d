@@ -1,0 +1,1 @@
+examples/t3d_mapping.mli:

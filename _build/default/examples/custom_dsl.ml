@@ -1,0 +1,30 @@
+(* Driving the optimizer from the textual DSL.
+
+   Everything the library does is reachable from a plain-text nest
+   description: parse it, optimize it, and print the full markdown
+   report (plan + validation + costs + HPF-style directives).
+
+   Run with: dune exec examples/custom_dsl.exe *)
+
+let source =
+  {|
+# An ADI-like sweep: two statements exchanging through array u.
+nest adi_sweep
+array u 2
+array v 2
+stmt Srow depth 2 extent 16 16
+  write u Fu [1 0; 0 1]
+  read  v Fv [0 1; 1 0]        # transposed read
+stmt Scol depth 2 extent 16 16
+  write v Gw [1 0; 0 1]
+  read  u Gr [1 1; 0 1] + (0 1)  # skewed read
+|}
+
+let () =
+  match Nestir.Dsl.parse source with
+  | Error e ->
+    Format.eprintf "parse error: %s@." e;
+    exit 1
+  | Ok nest ->
+    let r = Resopt.Pipeline.run ~m:2 nest in
+    print_string (Resopt.Report.markdown r)

@@ -1,0 +1,1 @@
+lib/alignment/access_graph.ml: Affine Array Edmonds Format Linalg List Loopnest Mat Nestir Pseudo Ratmat

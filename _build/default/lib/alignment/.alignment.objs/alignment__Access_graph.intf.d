@@ -1,0 +1,1 @@
+lib/alignment/access_graph.mli: Edmonds Format Linalg Nestir Ratmat

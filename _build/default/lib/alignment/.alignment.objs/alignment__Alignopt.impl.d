@@ -1,0 +1,1 @@
+lib/alignment/alignopt.ml: Access_graph Affine Alloc Array Linalg List Loopnest Mat Nestir Random Ratmat

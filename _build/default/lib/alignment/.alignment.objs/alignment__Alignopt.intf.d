@@ -1,0 +1,1 @@
+lib/alignment/alignopt.mli: Nestir

@@ -1,0 +1,1 @@
+lib/alignment/alloc.ml: Access_graph Affine Array Edmonds Format Hashtbl Linalg List Loopnest Mat Nestir Option Printf Random Rat Ratmat Unimodular

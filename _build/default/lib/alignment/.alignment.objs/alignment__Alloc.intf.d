@@ -1,0 +1,1 @@
+lib/alignment/alloc.mli: Access_graph Format Linalg Mat Nestir

@@ -1,0 +1,1 @@
+lib/alignment/edmonds.ml: Array List Option

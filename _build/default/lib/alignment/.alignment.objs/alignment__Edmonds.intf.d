@@ -1,0 +1,1 @@
+lib/alignment/edmonds.mli:

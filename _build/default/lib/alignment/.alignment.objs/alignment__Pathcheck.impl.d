@@ -1,0 +1,1 @@
+lib/alignment/pathcheck.ml: Linalg List Ratmat

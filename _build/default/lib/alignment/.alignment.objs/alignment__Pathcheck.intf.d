@@ -1,0 +1,1 @@
+lib/alignment/pathcheck.mli: Linalg Ratmat

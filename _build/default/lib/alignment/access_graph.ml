@@ -1,0 +1,132 @@
+open Linalg
+open Nestir
+
+type vertex = Array_v of string | Stmt_v of string
+
+type edge = {
+  e_src : vertex;
+  e_dst : vertex;
+  weight : Ratmat.t;
+  volume : int;
+  stmt_name : string;
+  label : string;
+  forward : bool;
+}
+
+type t = {
+  m : int;
+  vertices : vertex array;
+  edges : edge list;
+  excluded : (string * string) list;
+}
+
+let vertex_name = function Array_v n -> n | Stmt_v n -> n
+
+let vertex_dim (nest : Loopnest.t) = function
+  | Array_v n -> (Loopnest.find_array nest n).Loopnest.dim
+  | Stmt_v n -> (Loopnest.find_stmt nest n).Loopnest.depth
+
+let label_of (a : Loopnest.access) =
+  if a.Loopnest.label = "" then a.Loopnest.array_name else a.Loopnest.label
+
+(* A matrix G with G F = Id for a narrow full-column-rank F: integer
+   when possible, rational left pseudo-inverse otherwise. *)
+let left_inverse_weight f =
+  match Pseudo.integer_left_inverse f with
+  | Some g -> Some (Ratmat.of_mat g)
+  | None -> Pseudo.left_inverse f
+
+let build ?(weighting = `Rank) ~m (nest : Loopnest.t) =
+  let vertices =
+    Array.of_list
+      (List.map (fun (a : Loopnest.array_decl) -> Array_v a.Loopnest.array_name)
+         nest.Loopnest.arrays
+      @ List.map (fun (s : Loopnest.stmt) -> Stmt_v s.Loopnest.stmt_name)
+          nest.Loopnest.stmts)
+  in
+  let edges = ref [] and excluded = ref [] in
+  List.iter
+    (fun ((s : Loopnest.stmt), (a : Loopnest.access)) ->
+      let f = a.Loopnest.map.Affine.f in
+      let q = Mat.rows f and d = Mat.cols f in
+      let r = Ratmat.rank_of_mat f in
+      let sv = Stmt_v s.Loopnest.stmt_name
+      and xv = Array_v a.Loopnest.array_name in
+      let lbl = label_of a in
+      let full_rank = r = min q d in
+      if (not full_rank) || r < m || q < m || d < m then
+        excluded := (s.Loopnest.stmt_name, lbl) :: !excluded
+      else begin
+        let add src dst weight forward =
+          edges :=
+            {
+              e_src = src;
+              e_dst = dst;
+              weight;
+              volume = (match weighting with `Rank -> r | `Unit -> 1);
+              stmt_name = s.Loopnest.stmt_name;
+              label = lbl;
+              forward;
+            }
+            :: !edges
+        in
+        if q = d then begin
+          (* square: double arrow *)
+          add xv sv (Ratmat.of_mat f) true;
+          match Ratmat.inverse_mat f with
+          | Some inv -> add sv xv inv false
+          | None -> assert false (* full-rank square is invertible *)
+        end
+        else if q < d then
+          (* flat: x -> S, weight F *)
+          add xv sv (Ratmat.of_mat f) true
+        else begin
+          (* narrow: S -> x, weight any G with G F = Id *)
+          match left_inverse_weight f with
+          | Some g -> add sv xv g true
+          | None -> assert false (* full column rank has a left inverse *)
+        end
+      end)
+    (Loopnest.all_accesses nest);
+  { m; vertices; edges = List.rev !edges; excluded = List.rev !excluded }
+
+let vertex_index t v =
+  let rec go i =
+    if i >= Array.length t.vertices then
+      invalid_arg ("Access_graph.vertex_index: unknown vertex " ^ vertex_name v)
+    else if t.vertices.(i) = v then i
+    else go (i + 1)
+  in
+  go 0
+
+let edges_of_access t ~stmt ~label =
+  List.filter (fun e -> e.stmt_name = stmt && e.label = label) t.edges
+
+let to_edmonds t =
+  let arr = Array.of_list t.edges in
+  let edges =
+    Array.to_list
+      (Array.mapi
+         (fun i e ->
+           let bonus = if e.forward then 1024 else 0 in
+           {
+             Edmonds.src = vertex_index t e.e_src;
+             dst = vertex_index t e.e_dst;
+             weight = (e.volume * 2048) + bonus + (1023 - min i 1023);
+             id = i;
+           })
+         arr)
+  in
+  (edges, fun id -> arr.(id))
+
+let pp ppf t =
+  Format.fprintf ppf "access graph (m = %d)@\n" t.m;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %s -> %s  [%s, vol %d%s]@\n" (vertex_name e.e_src)
+        (vertex_name e.e_dst) e.label e.volume
+        (if e.forward then "" else ", reverse"))
+    t.edges;
+  List.iter
+    (fun (s, l) -> Format.fprintf ppf "  excluded: %s in %s@\n" l s)
+    t.excluded

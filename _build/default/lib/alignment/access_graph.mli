@@ -1,0 +1,67 @@
+(** The access graph [G(V, E, m)] (paper §2.2).
+
+    Vertices are the array variables and the statements of the nest.
+    An access of array [x] (dimension [q]) in statement [S] (depth [d])
+    through a full-rank matrix [F] with [rank F >= m], [d >= m] and
+    [q >= m] contributes:
+    - [q = d] (square [F]): a double-arrow edge — both orientations are
+      possible ([M_S = M_x F] and [M_x = M_S F^-1]);
+    - [q < d] (flat [F]): an edge [x -> S] with weight [F] (given
+      [M_x], take [M_S = M_x F]);
+    - [q > d] (narrow [F]): an edge [S -> x] with weight [G], any
+      matrix with [G F = Id] (given [M_S], take [M_x = M_S G]).
+
+    The integer weight of an edge is the rank of its access matrix — a
+    consistent estimate of the communication volume, so that large
+    communications are zeroed out in priority (§2.3).
+
+    Directed edges are materialized one per orientation: a square
+    access yields a forward ([x -> S]) and a reverse ([S -> x]) edge
+    sharing the same access.  Reverse weights may be rational.
+    Forward edges receive a small tie-breaking bonus (their weights
+    keep allocations integral), and earlier program accesses win
+    remaining ties, making the branching deterministic. *)
+
+open Linalg
+
+type vertex = Array_v of string | Stmt_v of string
+
+type edge = {
+  e_src : vertex;
+  e_dst : vertex;
+  weight : Ratmat.t;  (** [M_dst = M_src * weight] makes the access local *)
+  volume : int;  (** integer weight: rank of the access matrix *)
+  stmt_name : string;
+  label : string;  (** access label, e.g. "F3" *)
+  forward : bool;  (** false for the reverse orientation of a square access *)
+}
+
+type t = {
+  m : int;
+  vertices : vertex array;
+  edges : edge list;
+  excluded : (string * string) list;
+      (** (statement, label) of accesses not represented: rank-deficient
+          or below the target dimension [m]. *)
+}
+
+val build : ?weighting:[ `Rank | `Unit ] -> m:int -> Nestir.Loopnest.t -> t
+(** [weighting] selects the integer edge weight: [`Rank] (default, the
+    paper's volume estimate) or [`Unit] (all edges equal — the
+    ablation of §2.3's priority rule). *)
+
+val vertex_index : t -> vertex -> int
+val vertex_name : vertex -> string
+val vertex_dim : Nestir.Loopnest.t -> vertex -> int
+(** Array dimension or statement depth: the width of the allocation
+    matrix of that vertex. *)
+
+val edges_of_access : t -> stmt:string -> label:string -> edge list
+(** Both orientations, if present. *)
+
+val to_edmonds : t -> Edmonds.edge list * (int -> edge)
+(** Encode for the branching: integer effective weights
+    [volume * 2048 + forward_bonus(1024) + (1023 - program_index)];
+    the returned function maps edge ids back. *)
+
+val pp : Format.formatter -> t -> unit

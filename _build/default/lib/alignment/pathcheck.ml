@@ -1,0 +1,28 @@
+open Linalg
+
+type verdict = Always | Conditionally of Ratmat.t | Never
+
+let path_product = function
+  | [] -> invalid_arg "Pathcheck.path_product: empty path"
+  | w :: rest -> List.fold_left Ratmat.mul w rest
+
+let classify ~dim_root d =
+  if Ratmat.is_zero d then Always
+  else if Ratmat.rank d < dim_root then Conditionally d
+  else Never
+
+let multiple_paths ~dim_root p1 p2 =
+  let a = path_product p1 and b = path_product p2 in
+  if Ratmat.rows a <> Ratmat.rows b || Ratmat.cols a <> Ratmat.cols b then
+    invalid_arg "Pathcheck.multiple_paths: paths have different endpoints";
+  classify ~dim_root (Ratmat.sub a b)
+
+let cycle ~dim_root ws =
+  let p = path_product ws in
+  if Ratmat.rows p <> Ratmat.cols p then
+    invalid_arg "Pathcheck.cycle: product is not square";
+  classify ~dim_root (Ratmat.sub p (Ratmat.identity (Ratmat.rows p)))
+
+let feasible_roots ~m d =
+  (* rows of M live in the left kernel of D *)
+  Ratmat.rows d - Ratmat.rank d >= m

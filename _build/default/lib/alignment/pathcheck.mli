@@ -1,0 +1,34 @@
+(** The multiple-path / cycle conditions of step 1c, as pure functions
+    (paper §2.2-2.3).
+
+    Two disjoint paths [p1], [p2] from a vertex [u] to a vertex [v]
+    can both be made local iff their matrix-weight products agree —
+    or, when the difference is rank-deficient, iff the root allocation
+    can be chosen inside the left kernel of the difference.  A cycle
+    can be made local iff its weight product is the identity (same
+    deficient-rank relaxation).  {!Alignment.Alloc} applies these
+    conditions inside its forest; this module exposes them directly
+    for analysis and testing. *)
+
+open Linalg
+
+type verdict =
+  | Always  (** equal products / identity cycle: local for every root *)
+  | Conditionally of Ratmat.t
+      (** local iff the root satisfies [M D = 0] for this deficient-rank
+          difference [D] *)
+  | Never  (** full-rank difference: no full-rank root can zero it *)
+
+val path_product : Ratmat.t list -> Ratmat.t
+(** Left-to-right product of edge weights along a path.
+    @raise Invalid_argument on an empty path or mismatched dims. *)
+
+val multiple_paths : dim_root:int -> Ratmat.t list -> Ratmat.t list -> verdict
+(** Compare two paths with the same source and destination. *)
+
+val cycle : dim_root:int -> Ratmat.t list -> verdict
+(** A cycle through the root: product compared against the identity. *)
+
+val feasible_roots : m:int -> Ratmat.t -> bool
+(** Can a full-rank [m]-row integer matrix satisfy [M D = 0]?  True iff
+    the left kernel of [D] has dimension at least [m]. *)

@@ -1,0 +1,1 @@
+lib/core/autodim.ml: Cost Format List Machine Option Pipeline

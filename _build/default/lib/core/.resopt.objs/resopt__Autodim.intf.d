@@ -1,0 +1,1 @@
+lib/core/autodim.mli: Format Machine Nestir

@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Affine Alignment Array Buffer Commplan Decomp Distrib Format Linalg List Loopnest Macrocomm Mat Nestir Phases Pipeline Printf String

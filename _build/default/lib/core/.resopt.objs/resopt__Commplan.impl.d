@@ -1,0 +1,1 @@
+lib/core/commplan.ml: Affine Alignment Array Decomp Format Linalg List Loopnest Macrocomm Mat Nestir Option Ratmat Schedule String

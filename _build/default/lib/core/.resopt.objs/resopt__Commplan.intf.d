@@ -1,0 +1,1 @@
+lib/core/commplan.mli: Alignment Format Linalg Loopnest Macrocomm Mat Nestir Schedule

@@ -1,0 +1,1 @@
+lib/core/cost.ml: Commplan Distrib Format Linalg List Machine Macrocomm Mat

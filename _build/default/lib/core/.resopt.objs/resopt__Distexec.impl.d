@@ -1,0 +1,1 @@
+lib/core/distexec.ml: Affine Alignment Array Commplan Distrib Hashtbl Linalg List Loopnest Machine Mat Nestir Option Pipeline Schedule

@@ -1,0 +1,1 @@
+lib/core/distexec.mli: Distrib Pipeline

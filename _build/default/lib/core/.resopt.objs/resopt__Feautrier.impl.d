@@ -1,0 +1,1 @@
+lib/core/feautrier.ml: Alignment Commplan List Loopnest Nestir Schedule

@@ -1,0 +1,1 @@
+lib/core/feautrier.mli: Alignment Commplan Loopnest Nestir Schedule

@@ -1,0 +1,1 @@
+lib/core/legality.ml: Affine Array Format Hashtbl Linalg List Loopnest Machine Nestir Schedule Stdlib String

@@ -1,0 +1,1 @@
+lib/core/phases.ml: Array Commplan Format Hashtbl Linalg List Loopnest Machine Nestir Pipeline Schedule String

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Alignment Axis Broadcast Commplan Format Linalg List Loopnest Macrocomm Mat Nestir Schedule Spread

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Alignment Commplan Format Linalg Loopnest Mat Nestir Schedule

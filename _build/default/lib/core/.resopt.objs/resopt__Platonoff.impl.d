@@ -1,0 +1,1 @@
+lib/core/platonoff.ml: Affine Alignment Commplan Format Linalg List Loopnest Mat Nestir Ratmat Schedule

@@ -1,0 +1,1 @@
+lib/core/platonoff.mli: Alignment Commplan Format Loopnest Nestir Schedule

@@ -1,0 +1,1 @@
+lib/core/progtime.ml: Affine Alignment Array Commplan Distrib Format Hashtbl Linalg List Loopnest Machine Mat Nestir Pipeline Platonoff Schedule

@@ -1,0 +1,1 @@
+lib/core/progtime.mli: Alignment Commplan Distrib Format Machine Nestir Pipeline Platonoff

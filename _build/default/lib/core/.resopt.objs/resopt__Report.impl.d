@@ -1,0 +1,1 @@
+lib/core/report.ml: Alignment Buffer Codegen Commplan Cost Distexec Format Linalg List Loopnest Machine Nestir Pipeline Printf Validate

@@ -1,0 +1,1 @@
+lib/core/sweep.ml: Cost Feautrier Float Format List Machine Pipeline Validate Workloads

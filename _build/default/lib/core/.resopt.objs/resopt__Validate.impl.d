@@ -1,0 +1,1 @@
+lib/core/validate.ml: Affine Alignment Array Commplan Format Linalg List Loopnest Machine Mat Nestir Pipeline Schedule Subspace

@@ -1,0 +1,1 @@
+lib/core/workloads.ml: List Loopnest Nestir Paper_examples Schedule

@@ -1,0 +1,243 @@
+open Linalg
+open Nestir
+
+type classification =
+  | Local
+  | Reduction of Macrocomm.Reduction.info
+  | Broadcast of Macrocomm.Broadcast.info
+  | Scatter of Macrocomm.Spread.info
+  | Gather of Macrocomm.Spread.info
+  | Translation of int array
+  | Decomposed of { flow : Mat.t; factors : Mat.t list }
+  | General of Mat.t option
+
+type entry = {
+  stmt : string;
+  label : string;
+  array_name : string;
+  kind : Loopnest.access_kind;
+  classification : classification;
+  vectorizable : bool;
+}
+
+type t = entry list
+
+let label_of (a : Loopnest.access) =
+  if a.Loopnest.label = "" then a.Loopnest.array_name else a.Loopnest.label
+
+let alloc_opt al v =
+  try Some (Alignment.Alloc.alloc_of al v) with Not_found -> None
+
+(* The statement accumulates into an array it both reads and writes
+   through the same map (s = s op ...). *)
+let accumulator_arrays (s : Loopnest.stmt) =
+  List.filter_map
+    (fun (w : Loopnest.access) ->
+      if w.Loopnest.kind = Loopnest.Write
+         && List.exists
+              (fun (r : Loopnest.access) ->
+                r.Loopnest.kind = Loopnest.Read
+                && r.Loopnest.array_name = w.Loopnest.array_name
+                && Affine.equal r.Loopnest.map w.Loopnest.map)
+              s.Loopnest.accesses
+      then Some w.Loopnest.array_name
+      else None)
+    s.Loopnest.accesses
+
+let flow_matrix ~ms ~mx ~f =
+  let mxf = Mat.mul mx f in
+  if Mat.rows mxf <> Mat.cols mxf then None
+  else
+    match Ratmat.inverse_mat mxf with
+    | None -> None
+    | Some inv ->
+      let t = Ratmat.mul (Ratmat.of_mat ms) inv in
+      Ratmat.to_mat t
+
+let classify_decomposable flow =
+  if Mat.rows flow = 2 && Mat.det flow = 1 then
+    match Decomp.Decompose.min_factors flow with
+    | Some factors -> Decomposed { flow; factors }
+    | None -> Decomposed { flow; factors = Decomp.Decompose.euclid flow }
+  else if Mat.det flow = 1 then
+    (* higher-dimensional grids (e.g. the T3D): transvections *)
+    Decomposed { flow; factors = Decomp.Decompose_nd.decompose flow }
+  else if Mat.det flow <> 0 then
+    Decomposed { flow; factors = Decomp.Gendet.decompose flow }
+  else General (Some flow)
+
+let classify al sched (s : Loopnest.stmt) (a : Loopnest.access) =
+  let nest = al.Alignment.Alloc.nest in
+  let theta = Schedule.theta sched s.Loopnest.stmt_name in
+  let f = a.Loopnest.map.Affine.f in
+  let ms = alloc_opt al (Alignment.Access_graph.Stmt_v s.Loopnest.stmt_name) in
+  let mx = alloc_opt al (Alignment.Access_graph.Array_v a.Loopnest.array_name) in
+  let accs = accumulator_arrays s in
+  let is_accumulator = List.mem a.Loopnest.array_name accs in
+  let local_or_translation ms mx =
+    if Mat.is_zero (Mat.sub ms (Mat.mul mx f)) then begin
+      let offset = Mat.mul_vec mx a.Loopnest.map.Affine.c in
+      if Array.for_all (( = ) 0) offset then Some Local else Some (Translation offset)
+    end
+    else None
+  in
+  let reduction ms =
+    (* a value-source read inside an accumulating statement *)
+    if a.Loopnest.kind = Loopnest.Read && (not is_accumulator) && accs <> [] then
+      match mx with
+      | Some mb -> (
+        match Macrocomm.Reduction.detect ~theta ~f ~ms ~mb with
+        | Some info -> Some (Reduction info)
+        | None -> None)
+      | None -> None
+    else None
+  in
+  let broadcast ms =
+    if a.Loopnest.kind = Loopnest.Read then
+      match Macrocomm.Broadcast.detect ~theta ~f ~ms with
+      | Some info when info.Macrocomm.Broadcast.p >= 1 -> Some (Broadcast info)
+      | _ -> None
+    else None
+  in
+  let spread ms =
+    match mx with
+    | None -> None
+    | Some ma -> (
+      match Macrocomm.Spread.detect ~theta ~f ~ms ~ma with
+      | Some info
+        when info.Macrocomm.Spread.p >= 1 && info.Macrocomm.Spread.distinct_data ->
+        Some
+          (if a.Loopnest.kind = Loopnest.Read then Scatter info else Gather info)
+      | _ -> None)
+  in
+  let classification =
+    match ms with
+    | None -> General None
+    | Some ms -> (
+      let steps =
+        [
+          (fun () ->
+            match mx with Some mx -> local_or_translation ms mx | None -> None);
+          (fun () -> reduction ms);
+          (fun () -> broadcast ms);
+          (fun () -> spread ms);
+          (fun () ->
+            match mx with
+            | Some mx -> (
+              match flow_matrix ~ms ~mx ~f with
+              | Some flow ->
+                if Mat.is_identity flow then
+                  Some (Translation (Mat.mul_vec mx a.Loopnest.map.Affine.c))
+                else Some (classify_decomposable flow)
+              | None -> None)
+            | None -> None);
+        ]
+      in
+      let rec first = function
+        | [] -> General None
+        | step :: rest -> ( match step () with Some c -> c | None -> first rest)
+      in
+      first steps)
+  in
+  let vectorizable =
+    (* the kernel criterion says the source processor does not change
+       with time; hoisting is only sound when the data itself does not
+       either, i.e. the array is never written in the nest *)
+    Loopnest.writes_to nest a.Loopnest.array_name = []
+    &&
+    match (ms, mx) with
+    | Some ms, Some mx -> Macrocomm.Vectorize.vectorizable ~ms ~ma:mx ~f
+    | _ -> false
+  in
+  {
+    stmt = s.Loopnest.stmt_name;
+    label = label_of a;
+    array_name = a.Loopnest.array_name;
+    kind = a.Loopnest.kind;
+    classification;
+    vectorizable;
+  }
+
+let build ?nest al sched =
+  let nest = Option.value ~default:al.Alignment.Alloc.nest nest in
+  List.map (fun (s, a) -> classify al sched s a) (Loopnest.all_accesses nest)
+
+type summary = {
+  total : int;
+  local : int;
+  reductions : int;
+  broadcasts : int;
+  scatters : int;
+  gathers : int;
+  translations : int;
+  decomposed : int;
+  general : int;
+}
+
+let summarize t =
+  let z =
+    {
+      total = 0;
+      local = 0;
+      reductions = 0;
+      broadcasts = 0;
+      scatters = 0;
+      gathers = 0;
+      translations = 0;
+      decomposed = 0;
+      general = 0;
+    }
+  in
+  List.fold_left
+    (fun acc e ->
+      let acc = { acc with total = acc.total + 1 } in
+      match e.classification with
+      | Local -> { acc with local = acc.local + 1 }
+      | Reduction _ -> { acc with reductions = acc.reductions + 1 }
+      | Broadcast _ -> { acc with broadcasts = acc.broadcasts + 1 }
+      | Scatter _ -> { acc with scatters = acc.scatters + 1 }
+      | Gather _ -> { acc with gathers = acc.gathers + 1 }
+      | Translation _ -> { acc with translations = acc.translations + 1 }
+      | Decomposed _ -> { acc with decomposed = acc.decomposed + 1 }
+      | General _ -> { acc with general = acc.general + 1 })
+    z t
+
+let classification_name = function
+  | Local -> "local"
+  | Reduction _ -> "reduction"
+  | Broadcast _ -> "broadcast"
+  | Scatter _ -> "scatter"
+  | Gather _ -> "gather"
+  | Translation _ -> "translation"
+  | Decomposed _ -> "decomposed"
+  | General _ -> "general"
+
+let pp_classification ppf = function
+  | Local -> Format.fprintf ppf "local"
+  | Reduction i -> Macrocomm.Reduction.pp ppf i
+  | Broadcast i -> Macrocomm.Broadcast.pp ppf i
+  | Scatter i -> Format.fprintf ppf "scatter: %a" Macrocomm.Spread.pp i
+  | Gather i -> Format.fprintf ppf "gather: %a" Macrocomm.Spread.pp i
+  | Translation o ->
+    Format.fprintf ppf "translation by (%s)"
+      (String.concat " " (Array.to_list (Array.map string_of_int o)))
+  | Decomposed { flow; factors } ->
+    Format.fprintf ppf "decomposed %a = %a" Mat.pp_flat flow Decomp.Decompose.pp_factors
+      factors
+  | General (Some flow) -> Format.fprintf ppf "general (flow %a)" Mat.pp_flat flow
+  | General None -> Format.fprintf ppf "general"
+
+let pp ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %s/%s (%s %s): %a%s@\n" e.stmt e.label e.array_name
+        (match e.kind with Loopnest.Read -> "read" | Loopnest.Write -> "write")
+        pp_classification e.classification
+        (if e.vectorizable then " [vectorizable]" else ""))
+    t
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d accesses: %d local, %d reductions, %d broadcasts, %d scatters, %d gathers, %d translations, %d decomposed, %d general"
+    s.total s.local s.reductions s.broadcasts s.scatters s.gathers s.translations
+    s.decomposed s.general

@@ -1,0 +1,60 @@
+(** Classifying every communication of an aligned nest.
+
+    After step 1 fixed the allocation matrices, each access is either
+    local or a residual communication; residuals are matched against
+    the macro-communication patterns of §3 and the decomposition
+    machinery of §4, in this order:
+
+    local > reduction > broadcast > scatter/gather > translation >
+    decomposed > general. *)
+
+open Linalg
+open Nestir
+
+type classification =
+  | Local
+  | Reduction of Macrocomm.Reduction.info
+  | Broadcast of Macrocomm.Broadcast.info
+  | Scatter of Macrocomm.Spread.info
+  | Gather of Macrocomm.Spread.info
+  | Translation of int array  (** data-flow is the identity: pure shift *)
+  | Decomposed of { flow : Mat.t; factors : Mat.t list }
+      (** square determinant-1 data-flow, factored into elementary
+          communications (minimal if <= 4 factors, Euclidean fallback
+          otherwise) *)
+  | General of Mat.t option  (** the data-flow matrix, when square *)
+
+type entry = {
+  stmt : string;
+  label : string;
+  array_name : string;
+  kind : Loopnest.access_kind;
+  classification : classification;
+  vectorizable : bool;  (** §3.5 message-vectorization criterion *)
+}
+
+type t = entry list
+
+val build : ?nest:Loopnest.t -> Alignment.Alloc.t -> Schedule.t -> t
+(** [nest] overrides the nest recorded in the alignment (used when
+    some accesses were withheld from the alignment but must still be
+    classified, as in the Platonoff baseline). *)
+
+type summary = {
+  total : int;
+  local : int;
+  reductions : int;
+  broadcasts : int;
+  scatters : int;
+  gathers : int;
+  translations : int;
+  decomposed : int;
+  general : int;
+}
+
+val summarize : t -> summary
+
+val classification_name : classification -> string
+
+val pp : Format.formatter -> t -> unit
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,103 @@
+open Linalg
+
+type entry_cost = {
+  stmt : string;
+  label : string;
+  class_name : string;
+  cost : float;
+}
+
+type breakdown = { entries : entry_cost list; total : float }
+
+(* Virtual grid used when simulating 2-D flows: four virtual
+   processors per physical one in each dimension. *)
+let sim_vgrid (model : Machine.Models.t) =
+  let topo = model.Machine.Models.topo in
+  if Machine.Topology.ndims topo = 2 then
+    Some [| 4 * Machine.Topology.dim topo 0; 4 * Machine.Topology.dim topo 1 |]
+  else None
+
+let general_cost model ~bytes flow =
+  match (flow, sim_vgrid model) with
+  | Some flow, Some vgrid when Mat.rows flow = 2 && Mat.cols flow = 2 ->
+    (Distrib.Foldsim.time ~coalesce:false model
+       ~layout:(Distrib.Layout.all_cyclic 2) ~vgrid ~flow ~bytes ())
+      .Machine.Netsim.time
+  | _ ->
+    (* unknown pattern: the generic runtime path serializes one
+       message per peer out of the hottest node — what a macro-
+       communication primitive or a decomposition replaces *)
+    let n = Machine.Topology.size model.Machine.Models.topo in
+    let net = model.Machine.Models.net in
+    (float_of_int (n - 1)
+    *. (net.Machine.Netsim.alpha +. (net.Machine.Netsim.beta *. float_of_int bytes))
+    )
+    +. (net.Machine.Netsim.hop
+       *. float_of_int (Machine.Topology.diameter model.Machine.Models.topo))
+
+let decomposed_cost model ~bytes ~flow factors =
+  let phases =
+    match sim_vgrid model with
+    | Some vgrid
+      when List.for_all (fun f -> Mat.rows f = 2 && Mat.cols f = 2) factors ->
+      (* elementary phases, grouped layout matched to the largest
+         off-diagonal coefficient *)
+      let k =
+        List.fold_left
+          (fun acc f -> max acc (max (abs (Mat.get f 0 1)) (abs (Mat.get f 1 0))))
+          1 factors
+      in
+      let layout = [| Distrib.Layout.Grouped k; Distrib.Layout.Grouped k |] in
+      Distrib.Foldsim.total_time
+        (Distrib.Foldsim.decomposed_time model ~layout ~vgrid ~factors ~bytes ())
+    | _ ->
+      (* fall back: one conflict-free axis communication per factor *)
+      float_of_int (List.length factors)
+      *. Machine.Models.translation_time model ~bytes
+  in
+  (* the runtime keeps whichever implementation is cheaper; a
+     decomposition never has to be used when the direct path wins *)
+  let direct = general_cost model ~bytes (Some flow) in
+  min phases direct
+
+let entry_cost model ~bytes (e : Commplan.entry) =
+  match e.Commplan.classification with
+  | Commplan.Local -> 0.0
+  | Commplan.Translation _ -> Machine.Models.translation_time model ~bytes
+  | Commplan.Reduction _ -> Machine.Models.reduce_time model ~bytes
+  | Commplan.Broadcast info ->
+    (match info.Macrocomm.Broadcast.classification with
+    | Macrocomm.Broadcast.Total | Macrocomm.Broadcast.Hidden ->
+      Machine.Models.broadcast_time model ~bytes
+    | Macrocomm.Broadcast.Partial -> (
+      match model.Machine.Models.hw with
+      | Some _ -> Machine.Models.broadcast_time model ~bytes
+      | None ->
+        Machine.Collective.partial_broadcast model.Machine.Models.topo
+          model.Machine.Models.net ~axis:0 ~bytes))
+  | Commplan.Scatter _ -> Machine.Models.scatter_time model ~bytes
+  | Commplan.Gather _ -> Machine.Models.gather_time model ~bytes
+  | Commplan.Decomposed { factors; flow } -> decomposed_cost model ~bytes ~flow factors
+  | Commplan.General flow -> general_cost model ~bytes flow
+
+let of_plan ?(bytes = 64) model plan =
+  let entries =
+    List.map
+      (fun (e : Commplan.entry) ->
+        {
+          stmt = e.Commplan.stmt;
+          label = e.Commplan.label;
+          class_name = Commplan.classification_name e.Commplan.classification;
+          cost = entry_cost model ~bytes e;
+        })
+      plan
+  in
+  { entries; total = List.fold_left (fun acc e -> acc +. e.cost) 0.0 entries }
+
+let pp ppf b =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %s/%-6s %-12s %10.1f@\n" e.stmt e.label e.class_name
+        e.cost)
+    b.entries;
+  Format.fprintf ppf "  %-21s %10.1f@\n" "total" b.total

@@ -1,0 +1,23 @@
+(** Pricing a communication plan on a machine model.
+
+    Turns a {!Commplan.t} into time units: each entry is charged the
+    cost of its communication class on the given machine (hardware
+    collectives when available, simulated elementary phases for
+    decomposed flows, the generic non-vectorizable path for general
+    communications).  This is how the heuristic's value is summarized:
+    run {!Pipeline} and the {!Feautrier} baseline on the same nest and
+    compare totals. *)
+
+type entry_cost = {
+  stmt : string;
+  label : string;
+  class_name : string;
+  cost : float;
+}
+
+type breakdown = { entries : entry_cost list; total : float }
+
+val of_plan : ?bytes:int -> Machine.Models.t -> Commplan.t -> breakdown
+(** [bytes] is the item size (default 64). *)
+
+val pp : Format.formatter -> breakdown -> unit

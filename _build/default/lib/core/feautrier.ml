@@ -1,0 +1,31 @@
+open Nestir
+
+type result = {
+  nest : Loopnest.t;
+  m : int;
+  alloc : Alignment.Alloc.t;
+  plan : Commplan.t;
+}
+
+let downgrade (e : Commplan.entry) =
+  match e.Commplan.classification with
+  | Commplan.Local | Commplan.Translation _ | Commplan.General _ -> e
+  | Commplan.Reduction _ | Commplan.Broadcast _ | Commplan.Scatter _
+  | Commplan.Gather _ ->
+    { e with Commplan.classification = Commplan.General None }
+  | Commplan.Decomposed { flow; _ } ->
+    { e with Commplan.classification = Commplan.General (Some flow) }
+
+let run ?(m = 2) ?schedule nest =
+  let schedule =
+    match schedule with Some s -> s | None -> Schedule.all_parallel nest
+  in
+  let alloc = Alignment.Alloc.run ~m nest in
+  let plan = List.map downgrade (Commplan.build alloc schedule) in
+  { nest; m; alloc; plan }
+
+let summary r = Commplan.summarize r.plan
+
+let non_local r =
+  let s = summary r in
+  s.Commplan.total - s.Commplan.local - s.Commplan.translations

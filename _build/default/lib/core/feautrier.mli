@@ -1,0 +1,23 @@
+(** The Feautrier-style greedy baseline (paper §7.1).
+
+    Feautrier's placement heuristic zeroes out the edges carrying the
+    largest communication volume first and stops there: no
+    macro-communication extraction, no decomposition.  Our access-graph
+    weights already implement the volume estimate (the rank of the
+    access matrix), so this baseline is exactly step 1 of the paper's
+    heuristic with every residual left as a general communication —
+    the ablation that isolates the value of step 2. *)
+
+open Nestir
+
+type result = {
+  nest : Loopnest.t;
+  m : int;
+  alloc : Alignment.Alloc.t;
+  plan : Commplan.t;  (** residuals downgraded to [General] *)
+}
+
+val run : ?m:int -> ?schedule:Schedule.t -> Loopnest.t -> result
+
+val summary : result -> Commplan.summary
+val non_local : result -> int

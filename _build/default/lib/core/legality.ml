@@ -1,0 +1,81 @@
+open Nestir
+
+type violation = {
+  array_name : string;
+  element : int list;
+  first : string * int array;
+  second : string * int array;
+  reason : string;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s[%s]: %s(%s) then %s(%s): %s" v.array_name
+    (String.concat "," (List.map string_of_int v.element))
+    (fst v.first)
+    (String.concat "," (Array.to_list (Array.map string_of_int (snd v.first))))
+    (fst v.second)
+    (String.concat "," (Array.to_list (Array.map string_of_int (snd v.second))))
+    v.reason
+
+(* Lexicographic comparison of (possibly multidimensional) timesteps. *)
+let time_compare a b = Stdlib.compare (Array.to_list a) (Array.to_list b)
+
+let check (nest : Loopnest.t) (sched : Schedule.t) =
+  let violations = ref [] in
+  (* last conflicting access per array element, in program order:
+     (kind, stmt, iteration, timestep) *)
+  let last : (string * int list, Loopnest.access_kind * string * int array * int array) Hashtbl.t
+      =
+    Hashtbl.create 256
+  in
+  List.iter
+    (fun (s : Loopnest.stmt) ->
+      let theta = Schedule.theta sched s.Loopnest.stmt_name in
+      let capped = Array.map (fun e -> min e 5) s.Loopnest.extent in
+      Machine.Patterns.iter_box capped (fun i ->
+          let t = Linalg.Mat.mul_vec theta i in
+          List.iter
+            (fun (a : Loopnest.access) ->
+              let el = Array.to_list (Affine.apply a.Loopnest.map i) in
+              let key = (a.Loopnest.array_name, el) in
+              (match (Hashtbl.find_opt last key, a.Loopnest.kind) with
+              | Some (prev_kind, ps, pi, pt), kind
+                when prev_kind = Loopnest.Write || kind = Loopnest.Write ->
+                (* conflicting pair in program order: the later access
+                   must not run at a strictly earlier timestep; equal
+                   timesteps are fine across statements (statement
+                   phases execute in textual order inside a timestep)
+                   but a race between two instances of one statement *)
+                let same_stmt = ps = s.Loopnest.stmt_name in
+                let same_instance = same_stmt && pi = i in
+                if
+                  (not same_instance)
+                  && (time_compare pt t > 0 || (time_compare pt t = 0 && same_stmt))
+                then
+                  violations :=
+                    {
+                      array_name = a.Loopnest.array_name;
+                      element = el;
+                      first = (ps, pi);
+                      second = (s.Loopnest.stmt_name, i);
+                      reason =
+                        (if time_compare pt t = 0 then
+                           "conflicting accesses share a timestep"
+                         else "schedule reverses a conflicting pair");
+                    }
+                    :: !violations
+              | _ -> ());
+              (* writes supersede the remembered access; reads only
+                 replace other reads *)
+              match (Hashtbl.find_opt last key, a.Loopnest.kind) with
+              | _, Loopnest.Write ->
+                Hashtbl.replace last key
+                  (Loopnest.Write, s.Loopnest.stmt_name, i, t)
+              | Some (Loopnest.Write, _, _, _), Loopnest.Read -> ()
+              | _, Loopnest.Read ->
+                Hashtbl.replace last key (Loopnest.Read, s.Loopnest.stmt_name, i, t))
+            s.Loopnest.accesses))
+    nest.Loopnest.stmts;
+  List.rev !violations
+
+let is_legal nest sched = check nest sched = []

@@ -1,0 +1,27 @@
+(** Schedule legality, checked by enumeration.
+
+    A linear schedule is legal when every value is produced no later
+    than it is consumed and conflicting writes keep their program
+    order.  This module replays the (capped) iteration domains in
+    program order, records for each array element the sequence of
+    conflicting accesses, and checks that the schedule's timesteps
+    never reverse a producer/consumer pair.
+
+    The executable counterpart of the hyperplane condition
+    [theta . d >= 1] implemented in {!Nestir.Schedule.lamport} — and
+    its safety net for non-uniform nests. *)
+
+type violation = {
+  array_name : string;
+  element : int list;
+  first : string * int array;  (** statement and iteration, program order *)
+  second : string * int array;
+  reason : string;
+}
+
+val check : Nestir.Loopnest.t -> Nestir.Schedule.t -> violation list
+(** Empty = legal on the enumerated (capped) domains. *)
+
+val is_legal : Nestir.Loopnest.t -> Nestir.Schedule.t -> bool
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,23 @@
+(** Communication phases: what runs before the loops and what runs
+    inside them.
+
+    Message vectorization (§3.5) lets an access whose data does not
+    depend on the timestep hoist its communication out of the time
+    loop: one large message instead of one per timestep.  This module
+    splits a plan accordingly and quantifies the saving. *)
+
+type t = {
+  hoisted : Commplan.entry list;  (** vectorizable: sent once, up front *)
+  per_timestep : Commplan.entry list;  (** re-sent every timestep *)
+  local : Commplan.entry list;  (** no communication at all *)
+}
+
+val of_result : Pipeline.result -> t
+
+val message_factor : Pipeline.result -> float
+(** Ratio of messages without vectorization to messages with it, over
+    one execution of the nest: [1.0] when nothing is hoistable,
+    [timesteps] when everything is.  Timestep count is taken from the
+    schedule applied to the statement extents. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,82 @@
+open Linalg
+open Nestir
+
+type result = {
+  nest : Loopnest.t;
+  m : int;
+  schedule : Schedule.t;
+  alloc : Alignment.Alloc.t;
+  plan : Commplan.t;
+  rotations : (int * Mat.t) list;
+}
+
+(* A partial macro-communication that is not yet parallel to the axes,
+   together with the component to rotate. *)
+let misaligned_direction alloc (entry : Commplan.entry) =
+  let open Macrocomm in
+  let directions =
+    match entry.Commplan.classification with
+    | Commplan.Broadcast i
+      when i.Broadcast.classification = Broadcast.Partial
+           && not i.Broadcast.axis_aligned ->
+      Some i.Broadcast.directions
+    | Commplan.Scatter i | Commplan.Gather i ->
+      if i.Spread.classification = Spread.Partial && not i.Spread.axis_aligned then
+        Some i.Spread.directions
+      else None
+    | _ -> None
+  in
+  match directions with
+  | None -> None
+  | Some d ->
+    let comp =
+      Alignment.Alloc.component alloc (Alignment.Access_graph.Stmt_v entry.Commplan.stmt)
+    in
+    (match Axis.aligning_matrix d with
+    | Some v when not (Mat.is_identity v) -> Some (comp, v)
+    | _ -> None)
+
+let run ?(m = 2) ?schedule ?(axis_align = true) nest =
+  let schedule =
+    match schedule with Some s -> s | None -> Schedule.all_parallel nest
+  in
+  let alloc = ref (Alignment.Alloc.run ~m nest) in
+  let rotations = ref [] in
+  let plan = ref (Commplan.build !alloc schedule) in
+  (* Greedy axis alignment: rotate one component at a time and
+     re-classify, at most once per entry. *)
+  let budget = ref (List.length !plan) in
+  let continue = ref axis_align in
+  while !continue && !budget > 0 do
+    decr budget;
+    match List.find_map (misaligned_direction !alloc) !plan with
+    | None -> continue := false
+    | Some (comp, v) ->
+      alloc := Alignment.Alloc.apply_unimodular !alloc ~component:comp v;
+      rotations := (comp, v) :: !rotations;
+      plan := Commplan.build !alloc schedule
+  done;
+  {
+    nest;
+    m;
+    schedule;
+    alloc = !alloc;
+    plan = !plan;
+    rotations = List.rev !rotations;
+  }
+
+let summary r = Commplan.summarize r.plan
+
+let non_local r =
+  let s = summary r in
+  s.Commplan.total - s.Commplan.local - s.Commplan.translations
+
+let pp ppf r =
+  Format.fprintf ppf "=== %s (m = %d) ===@\n" r.nest.Loopnest.nest_name r.m;
+  Format.fprintf ppf "%a" Alignment.Alloc.pp r.alloc;
+  List.iter
+    (fun (c, v) ->
+      Format.fprintf ppf "  rotation on component %d: %a@\n" c Mat.pp_flat v)
+    r.rotations;
+  Format.fprintf ppf "communication plan:@\n%a" Commplan.pp r.plan;
+  Format.fprintf ppf "summary: %a@\n" Commplan.pp_summary (summary r)

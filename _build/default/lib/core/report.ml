@@ -1,0 +1,66 @@
+open Nestir
+
+let summary_line (r : Pipeline.result) =
+  let s = Pipeline.summary r in
+  Printf.sprintf
+    "%s: %d accesses — %d local, %d shifts, %d macro, %d decomposed, %d general%s"
+    r.Pipeline.nest.Loopnest.nest_name s.Commplan.total s.Commplan.local
+    s.Commplan.translations
+    (s.Commplan.reductions + s.Commplan.broadcasts + s.Commplan.scatters
+   + s.Commplan.gathers)
+    s.Commplan.decomposed s.Commplan.general
+    (if Validate.is_valid r then " [validated]" else " [VALIDATION FAILED]")
+
+let markdown (r : Pipeline.result) =
+  let buf = Buffer.create 2048 in
+  let out fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let nest = r.Pipeline.nest in
+  out "# Mapping report: %s" nest.Loopnest.nest_name;
+  out "";
+  out "%s" (summary_line r);
+  out "";
+  out "## Allocation matrices";
+  out "";
+  List.iter
+    (fun (v, m) ->
+      out "- `M[%s] = %s`"
+        (Alignment.Access_graph.vertex_name v)
+        (Format.asprintf "%a" Linalg.Mat.pp_flat m))
+    r.Pipeline.alloc.Alignment.Alloc.allocs;
+  out "";
+  out "## Communication plan";
+  out "";
+  out "| access | array | kind | classification | vectorizable |";
+  out "|---|---|---|---|---|";
+  List.iter
+    (fun (e : Commplan.entry) ->
+      out "| %s/%s | %s | %s | %s | %s |" e.Commplan.stmt e.Commplan.label
+        e.Commplan.array_name
+        (match e.Commplan.kind with Loopnest.Read -> "read" | Loopnest.Write -> "write")
+        (Commplan.classification_name e.Commplan.classification)
+        (if e.Commplan.vectorizable then "yes" else "no"))
+    r.Pipeline.plan;
+  out "";
+  out "## Cost on the machine models";
+  out "";
+  out "| model | total time |";
+  out "|---|---|";
+  List.iter
+    (fun model ->
+      let c = Cost.of_plan model r.Pipeline.plan in
+      out "| %s | %.1f |" model.Machine.Models.name c.Cost.total)
+    [ Machine.Models.cm5 (); Machine.Models.paragon (); Machine.Models.t3d () ];
+  out "";
+  let d = Distexec.run r in
+  out "## Distributed execution check";
+  out "";
+  out "- total remote messages: %d" d.Distexec.total_messages;
+  out "- semantics preserved: %b" d.Distexec.semantics_preserved;
+  out "- local accesses silent: %b" d.Distexec.local_accesses_silent;
+  out "";
+  out "## Generated directives";
+  out "";
+  out "```";
+  Buffer.add_string buf (Codegen.emit r);
+  out "```";
+  Buffer.contents buf

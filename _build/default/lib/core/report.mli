@@ -1,0 +1,12 @@
+(** One-stop mapping report.
+
+    Combines the pipeline result, the brute-force validation, the
+    distributed-execution check, the plan cost on the standard machine
+    models and the generated directives into a single markdown
+    document — what a user of the optimizer would read. *)
+
+val markdown : Pipeline.result -> string
+
+val summary_line : Pipeline.result -> string
+(** One line: "nest: N accesses, L local, B macro, D decomposed, G
+    general; validated". *)

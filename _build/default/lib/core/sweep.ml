@@ -1,0 +1,52 @@
+type row = {
+  workload : string;
+  m : int;
+  model : string;
+  optimized : float;
+  baseline : float;
+  non_local : int;
+  validated : bool;
+}
+
+let run ?(ms = [ 2 ]) ?models ?workloads () =
+  let models =
+    match models with
+    | Some l -> l
+    | None -> [ Machine.Models.cm5 (); Machine.Models.paragon (); Machine.Models.t3d () ]
+  in
+  let workloads = match workloads with Some l -> l | None -> Workloads.all () in
+  List.concat_map
+    (fun (w : Workloads.t) ->
+      List.concat_map
+        (fun m ->
+          match
+            ( Pipeline.run ~m ~schedule:w.Workloads.schedule w.Workloads.nest,
+              Feautrier.run ~m ~schedule:w.Workloads.schedule w.Workloads.nest )
+          with
+          | exception _ -> []
+          | opt, base ->
+            List.map
+              (fun model ->
+                {
+                  workload = w.Workloads.name;
+                  m;
+                  model = model.Machine.Models.name;
+                  optimized = (Cost.of_plan model opt.Pipeline.plan).Cost.total;
+                  baseline = (Cost.of_plan model base.Feautrier.plan).Cost.total;
+                  non_local = Pipeline.non_local opt;
+                  validated = Validate.is_valid opt;
+                })
+              models)
+        ms)
+    workloads
+
+let pp_table ppf rows =
+  Format.fprintf ppf "%-12s %2s %-8s %12s %12s %8s %6s@." "workload" "m" "model"
+    "optimized" "baseline" "gain" "valid";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-12s %2d %-8s %12.1f %12.1f %7.2fx %6b@." r.workload r.m
+        r.model r.optimized r.baseline
+        (if r.optimized > 0.0 then r.baseline /. r.optimized else Float.infinity)
+        r.validated)
+    rows

@@ -1,0 +1,29 @@
+(** Parameter sweeps over the whole pipeline.
+
+    Runs every workload against every machine model (and optionally
+    several grid dimensions), pricing the optimized plan against the
+    step-1-only baseline: the summary table a user would consult to
+    decide whether the residual optimization is worth enabling on
+    their machine. *)
+
+type row = {
+  workload : string;
+  m : int;
+  model : string;
+  optimized : float;
+  baseline : float;
+  non_local : int;
+  validated : bool;
+}
+
+val run :
+  ?ms:int list ->
+  ?models:Machine.Models.t list ->
+  ?workloads:Workloads.t list ->
+  unit ->
+  row list
+(** Defaults: [ms = [2]], all three machine models, all workloads.
+    Workload/dimension combinations the alignment cannot materialize
+    are skipped. *)
+
+val pp_table : Format.formatter -> row list -> unit

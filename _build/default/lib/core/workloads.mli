@@ -1,0 +1,17 @@
+(** Named workloads shared by the CLI, the examples and the benchmark
+    harness. *)
+
+open Nestir
+
+type t = {
+  name : string;
+  description : string;
+  nest : Loopnest.t;
+  schedule : Schedule.t;
+}
+
+val all : unit -> t list
+val find : string -> t
+(** @raise Not_found on unknown name. *)
+
+val names : unit -> string list

@@ -1,0 +1,1 @@
+lib/decomp/cfrac.ml: Linalg List

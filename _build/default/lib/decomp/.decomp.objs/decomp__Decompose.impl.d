@@ -1,0 +1,1 @@
+lib/decomp/decompose.ml: Elementary Format Linalg List Mat Option

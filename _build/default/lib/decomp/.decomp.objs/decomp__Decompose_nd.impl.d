@@ -1,0 +1,1 @@
+lib/decomp/decompose_nd.ml: Elementary Linalg List Mat

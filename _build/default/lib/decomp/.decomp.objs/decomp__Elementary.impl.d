@@ -1,0 +1,1 @@
+lib/decomp/elementary.ml: Array Linalg List Mat

@@ -1,0 +1,1 @@
+lib/decomp/elementary.mli: Linalg Mat

@@ -1,0 +1,1 @@
+lib/decomp/gendet.ml: Elementary Linalg List Mat

@@ -1,0 +1,1 @@
+lib/decomp/gendet.mli: Linalg Mat

@@ -1,0 +1,1 @@
+lib/decomp/quadform.ml: Format Hashtbl Linalg List

@@ -1,0 +1,1 @@
+lib/decomp/quadform.mli: Format Linalg

@@ -1,0 +1,1 @@
+lib/decomp/search.ml: Array Decompose Format Linalg List Mat Similarity

@@ -1,0 +1,1 @@
+lib/decomp/search.mli: Format Linalg Mat

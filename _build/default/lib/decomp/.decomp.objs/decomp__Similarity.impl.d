@@ -1,0 +1,1 @@
+lib/decomp/similarity.ml: Decompose Elementary Linalg List Mat Unimodular

@@ -1,0 +1,1 @@
+lib/decomp/similarity.mli: Linalg Mat

@@ -1,0 +1,1 @@
+lib/decomp/sl2word.ml: Decompose Elementary Format Linalg List Mat

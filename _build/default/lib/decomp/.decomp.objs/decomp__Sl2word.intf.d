@@ -1,0 +1,1 @@
+lib/decomp/sl2word.mli: Format Linalg

@@ -1,0 +1,17 @@
+let expansion p q =
+  if q = 0 then raise Division_by_zero;
+  let rec go p q acc =
+    if q = 0 then List.rev acc
+    else go q (p mod q) ((p / q) :: acc)
+  in
+  go p q []
+
+(* Euclid on (a, c) shrinks min(|a|, |c|) at least geometrically: at
+   most 2 log2(max + 2) quotient steps, each one elementary factor;
+   the cleanup adds one U factor and a possible -Id fix six more, plus
+   a bootstrap step when a = 0. *)
+let length_bound t =
+  let a = abs (Linalg.Mat.get t 0 0) and c = abs (Linalg.Mat.get t 1 0) in
+  let m = max a c in
+  let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+  (2 * (log2 (m + 2) + 1)) + 9

@@ -1,0 +1,17 @@
+(** Continued fractions and the length of Euclid decompositions.
+
+    The Euclidean decomposition of §4 reduces the first column of [T]
+    with quotient steps; the number of elementary factors it produces
+    is governed by the length of the continued-fraction expansion of
+    [a / c] — the link between the paper's decomposition and classical
+    number theory. *)
+
+val expansion : int -> int -> int list
+(** [expansion p q] for [q <> 0]: quotients of the (truncated-division)
+    Euclidean algorithm on [(p, q)].
+    @raise Division_by_zero when [q = 0]. *)
+
+val length_bound : Linalg.Mat.t -> int
+(** An upper bound on [List.length (Decompose.euclid t)] derived from
+    the expansion of the first column (plus the constant cost of the
+    final cleanup and a possible sign fix). *)

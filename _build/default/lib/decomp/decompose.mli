@@ -1,0 +1,36 @@
+(** Direct decomposition of a 2x2 determinant-1 data-flow matrix into
+    elementary matrices (paper §4.2.1).
+
+    Characterizations implemented (all constructive, with the factor
+    lists returned):
+    - 1 factor: [T] is itself elementary;
+    - 2 factors: [a = 1] ([T = L(c) U(b)]) or [d = 1] ([T = U(b) L(c)]);
+    - 3 factors: [c <> 0] and [c | a - 1] ([T = U((a-1)/c) L(c) U(.)]),
+      or [b <> 0] and [b | d - 1] ([T = L((d-1)/b) U(b) L(.)]);
+    - 4 factors: an alternating product [U L U L] or [L U L U]; the
+      free inner coefficient runs over the divisors of [d - 1]
+      (resp. [a - 1]), the rest follows and is verified by
+      multiplication.
+
+    [euclid] always produces {e some} decomposition (possibly longer
+    than four factors) by integer column reduction — the general
+    fallback used when the minimal forms do not apply. *)
+
+open Linalg
+
+val min_factors : Mat.t -> Mat.t list option
+(** The smallest decomposition with at most four factors, or [None].
+    The product of the returned list equals the input (an empty list is
+    returned for the identity).
+    @raise Invalid_argument unless the input is 2x2 with determinant 1. *)
+
+val factor_count : Mat.t -> int option
+(** [List.length] of {!min_factors}. *)
+
+val euclid : Mat.t -> Mat.t list
+(** A decomposition of any 2x2 determinant-1 matrix into elementary
+    matrices (not necessarily minimal).  Uses the Euclidean algorithm
+    on the first column; the [-Id] obstruction costs six extra
+    factors. *)
+
+val pp_factors : Format.formatter -> Mat.t list -> unit

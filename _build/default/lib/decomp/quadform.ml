@@ -1,0 +1,101 @@
+type t = { a : int; b : int; c : int }
+
+let discriminant f = (f.b * f.b) - (4 * f.a * f.c)
+
+let of_matrix m =
+  if Linalg.Mat.rows m <> 2 || Linalg.Mat.cols m <> 2 then
+    invalid_arg "Quadform.of_matrix: expected 2x2";
+  let p = Linalg.Mat.get m 0 0
+  and q = Linalg.Mat.get m 0 1
+  and r = Linalg.Mat.get m 1 0
+  and s = Linalg.Mat.get m 1 1 in
+  { a = r; b = s - p; c = -q }
+
+let isqrt n =
+  if n < 0 then invalid_arg "isqrt";
+  let rec go x = if x * x > n then go (x - 1) else x in
+  go (1 + int_of_float (sqrt (float_of_int n)))
+
+let check_disc d =
+  if d <= 0 then invalid_arg "Quadform: discriminant must be positive";
+  let s = isqrt d in
+  if s * s = d then invalid_arg "Quadform: discriminant must not be a square";
+  if d mod 4 <> 0 && d mod 4 <> 1 then
+    invalid_arg "Quadform: discriminant must be 0 or 1 mod 4";
+  s
+
+let is_reduced f =
+  let d = discriminant f in
+  let s = check_disc d in
+  let ta = 2 * abs f.a in
+  f.b > 0 && f.b <= s && s - f.b < ta && ta <= s + f.b
+
+(* One step of the classical reduction: (a, b, c) -> (c, r, (r^2-D)/4c)
+   with r = -b mod 2|c| placed in the canonical window. *)
+let rho f =
+  let d = discriminant f in
+  let s = check_disc d in
+  if f.c = 0 then invalid_arg "Quadform.rho: degenerate form (c = 0)";
+  let m = 2 * abs f.c in
+  let base = (((-f.b) mod m) + m) mod m in
+  let r =
+    if abs f.c > s then if base <= abs f.c then base else base - m
+    else s - (((s - base) mod m + m) mod m)
+  in
+  let c' = ((r * r) - d) / (4 * f.c) in
+  { a = f.c; b = r; c = c' }
+
+let reduce f =
+  let rec go f n =
+    if n > 10_000 then failwith "Quadform.reduce: did not converge"
+    else if is_reduced f then f
+    else go (rho f) (n + 1)
+  in
+  go f 0
+
+let cycle f =
+  let start = reduce f in
+  let rec go cur acc =
+    let next = rho cur in
+    if next = start then List.rev (cur :: acc) else go next (cur :: acc)
+  in
+  go start []
+
+let reduced_forms d =
+  let s = check_disc d in
+  let forms = ref [] in
+  for b = 1 to s do
+    if (d - (b * b)) mod 4 = 0 then begin
+      let n = (d - (b * b)) / 4 in
+      (* a c = -n with n > 0: a runs over all divisors of n, both
+         signs; c = -n / a *)
+      if n > 0 then
+        for a = 1 to n do
+          if n mod a = 0 then begin
+            let candidates =
+              [ { a; b; c = -(n / a) }; { a = -a; b; c = n / a } ]
+            in
+            List.iter (fun f -> if is_reduced f then forms := f :: !forms) candidates
+          end
+        done
+    end
+  done;
+  List.rev !forms
+
+let class_number d =
+  let forms = reduced_forms d in
+  let visited = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc f ->
+      if Hashtbl.mem visited f then acc
+      else begin
+        List.iter (fun g -> Hashtbl.replace visited g ()) (cycle f);
+        acc + 1
+      end)
+    0 forms
+
+let equivalent f g =
+  if discriminant f <> discriminant g then false
+  else List.mem (reduce g) (cycle f)
+
+let pp ppf f = Format.fprintf ppf "(%d, %d, %d)" f.a f.b f.c

@@ -1,0 +1,57 @@
+open Linalg
+
+type histogram = {
+  bound : int;
+  total : int;
+  by_factors : int array;
+  beyond_four : int;
+  witnesses_beyond : Mat.t list;
+}
+
+let iter_det1 ~bound f =
+  for a = -bound to bound do
+    for b = -bound to bound do
+      for c = -bound to bound do
+        for d = -bound to bound do
+          if (a * d) - (b * c) = 1 then
+            f (Mat.of_lists [ [ a; b ]; [ c; d ] ])
+        done
+      done
+    done
+  done
+
+let factor_histogram ~bound =
+  let total = ref 0 in
+  let by_factors = Array.make 5 0 in
+  let beyond = ref 0 in
+  let witnesses = ref [] in
+  iter_det1 ~bound (fun t ->
+      incr total;
+      match Decompose.factor_count t with
+      | Some k -> by_factors.(k) <- by_factors.(k) + 1
+      | None ->
+        incr beyond;
+        if List.length !witnesses < 5 then witnesses := t :: !witnesses);
+  {
+    bound;
+    total = !total;
+    by_factors;
+    beyond_four = !beyond;
+    witnesses_beyond = List.rev !witnesses;
+  }
+
+let similarity_histogram ~bound ~conj_bound =
+  let total = ref 0 and suff = ref 0 and srch = ref 0 in
+  iter_det1 ~bound (fun t ->
+      incr total;
+      (match Similarity.sufficient t with Some _ -> incr suff | None -> ());
+      match Similarity.search ~bound:conj_bound t with
+      | Some _ -> incr srch
+      | None -> ());
+  (!total, !suff, !srch)
+
+let pp ppf h =
+  Format.fprintf ppf
+    "|entries| <= %d: %d det-1 matrices; factors 0:%d 1:%d 2:%d 3:%d 4:%d; >4: %d"
+    h.bound h.total h.by_factors.(0) h.by_factors.(1) h.by_factors.(2)
+    h.by_factors.(3) h.by_factors.(4) h.beyond_four

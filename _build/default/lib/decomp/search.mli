@@ -1,0 +1,26 @@
+(** Exhaustive verification of the decomposition claims (paper §4.2.1:
+    "an exhaustive search shows that every 2x2 matrix T with det T = 1
+    and small coefficients is equal to the product of at most four
+    elementary matrices"). *)
+
+open Linalg
+
+type histogram = {
+  bound : int;
+  total : int;  (** determinant-1 matrices in the box *)
+  by_factors : int array;  (** index k: matrices needing exactly k factors *)
+  beyond_four : int;  (** matrices with no 4-factor decomposition *)
+  witnesses_beyond : Mat.t list;  (** a few of them, if any *)
+}
+
+val factor_histogram : bound:int -> histogram
+(** Scan all matrices with entries in [[-bound, bound]] and
+    determinant 1. *)
+
+val similarity_histogram : bound:int -> conj_bound:int -> int * int * int
+(** [(total, by_sufficient, by_search)]: determinant-1 matrices in the
+    box that are similar to a two-factor product — detected by the
+    paper's sufficient condition vs. by exhaustive conjugator search
+    with entries bounded by [conj_bound]. *)
+
+val pp : Format.formatter -> histogram -> unit

@@ -1,0 +1,42 @@
+open Linalg
+
+type result = { conjugator : Mat.t; similar : Mat.t; factors : Mat.t list }
+
+let conjugate m t = Mat.mul (Mat.mul m t) (Unimodular.inverse m)
+
+let two_factor_result conjugator t =
+  let similar = conjugate conjugator t in
+  match Decompose.min_factors similar with
+  | Some factors when List.length factors <= 2 -> Some { conjugator; similar; factors }
+  | _ -> None
+
+let sufficient t =
+  if Mat.det t <> 1 || Mat.rows t <> 2 || Mat.cols t <> 2 then
+    invalid_arg "Similarity.sufficient: expected 2x2, det 1";
+  let a = Mat.get t 0 0
+  and b = Mat.get t 0 1
+  and c = Mat.get t 1 0
+  and d = Mat.get t 1 1 in
+  if a = 1 || d = 1 then two_factor_result (Mat.identity 2) t
+  else if c <> 0 && (a - 1) mod c = 0 then
+    (* conjugating by U(-lambda), lambda = (a-1)/c, sends a to
+       a - lambda c = 1 *)
+    two_factor_result (Elementary.u2 (-((a - 1) / c))) t
+  else if b <> 0 && (d - 1) mod b = 0 then
+    (* transposed condition: conjugate by L(-(d-1)/b) *)
+    two_factor_result (Elementary.l2 (-((d - 1) / b))) t
+  else None
+
+let search ~bound t =
+  if Mat.det t <> 1 || Mat.rows t <> 2 || Mat.cols t <> 2 then
+    invalid_arg "Similarity.search: expected 2x2, det 1";
+  let rec go = function
+    | [] -> None
+    | m :: rest -> (
+      match two_factor_result m t with Some r -> Some r | None -> go rest)
+  in
+  go (Unimodular.enumerate_2x2 ~bound)
+
+let discriminant t =
+  let tr = Mat.trace t in
+  (tr * tr) - 4

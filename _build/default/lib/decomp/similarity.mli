@@ -1,0 +1,33 @@
+(** Decomposition up to unimodular similarity (paper §4.2.2).
+
+    Allocation matrices are free up to left-multiplication by a
+    unimodular [M], which turns the data-flow matrix [T] into
+    [M T M^-1].  Ideally [T] would always be similar to a two-factor
+    product [L U]; the paper shows through Latimer-MacDuffee theory
+    that this {e fails} for infinitely many [T] (ideal-class
+    obstruction), and gives the simple sufficient condition
+    [c | a - 1], identical to the three-factor condition of the direct
+    decomposition. *)
+
+open Linalg
+
+type result = {
+  conjugator : Mat.t;  (** unimodular [M] *)
+  similar : Mat.t;  (** [M T M^-1] *)
+  factors : Mat.t list;  (** decomposition of [similar], two factors *)
+}
+
+val sufficient : Mat.t -> result option
+(** The paper's sufficient condition: when [c <> 0] and [c | a - 1],
+    conjugating by [U(-(a-1)/c)] yields a matrix with top-left entry 1,
+    hence a two-factor [L U] decomposition.  Also handles the
+    transposed condition [b | d - 1]. *)
+
+val search : bound:int -> Mat.t -> result option
+(** Exhaustive search over unimodular conjugators with entries in
+    [[-bound, bound]] for a two-factor similar form.  For producing
+    counterexample evidence: a [None] at a generous bound. *)
+
+val discriminant : Mat.t -> int
+(** [trace^2 - 4]: the discriminant of the characteristic polynomial,
+    governing the ideal-class analysis. *)

@@ -1,0 +1,1 @@
+lib/distrib/foldsim.ml: Array Layout Linalg List Machine Mat

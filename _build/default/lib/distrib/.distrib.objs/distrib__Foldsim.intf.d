@@ -1,0 +1,1 @@
+lib/distrib/foldsim.mli: Layout Linalg Machine Mat

@@ -1,0 +1,1 @@
+lib/distrib/grouped.ml: Format Layout List

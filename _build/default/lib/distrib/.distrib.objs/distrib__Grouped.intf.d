@@ -1,0 +1,1 @@
+lib/distrib/grouped.mli: Format

@@ -1,0 +1,1 @@
+lib/distrib/hpf.ml: Array Buffer Layout List Printf String

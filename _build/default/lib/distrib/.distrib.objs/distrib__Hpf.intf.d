@@ -1,0 +1,1 @@
+lib/distrib/hpf.mli: Layout

@@ -1,0 +1,1 @@
+lib/distrib/layout.ml: Array Format Machine

@@ -1,0 +1,1 @@
+lib/distrib/layout.mli: Format Machine

@@ -1,0 +1,1 @@
+lib/distrib/redistribute.ml: Foldsim Layout Machine

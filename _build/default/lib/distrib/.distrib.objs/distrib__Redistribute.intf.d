@@ -1,0 +1,1 @@
+lib/distrib/redistribute.mli: Layout Linalg Machine Mat

@@ -1,0 +1,35 @@
+open Linalg
+
+let place_fn model ~layout ~vgrid =
+  let topo = model.Machine.Models.topo in
+  fun v -> Layout.place layout ~vgrid ~topo v
+
+let time ?coalesce model ~layout ~vgrid ~flow ?offset ?(bytes = 8) () =
+  let place = place_fn model ~layout ~vgrid in
+  let msgs = Machine.Patterns.affine_messages ~vgrid ~flow ?offset ~bytes ~place () in
+  Machine.Models.run ?coalesce model msgs
+
+let decomposed_time model ~layout ~vgrid ~factors ?(bytes = 8) () =
+  let place = place_fn model ~layout ~vgrid in
+  (* The rightmost factor moves first: T = f1 f2 ... fn applied to v is
+     realised as v -> fn v -> f(n-1) fn v -> ...; positions live on the
+     virtual torus. *)
+  let wrap v = Array.map2 (fun x e -> ((x mod e) + e) mod e) v vgrid in
+  let phases = List.rev factors in
+  let positions = ref [] in
+  Machine.Patterns.iter_box vgrid (fun v -> positions := v :: !positions);
+  List.map
+    (fun f ->
+      let moved = ref [] and msgs = ref [] in
+      List.iter
+        (fun v ->
+          let dst = wrap (Mat.mul_vec f v) in
+          moved := dst :: !moved;
+          msgs := Machine.Message.make ~src:(place v) ~dst:(place dst) ~bytes :: !msgs)
+        !positions;
+      positions := !moved;
+      Machine.Models.run model !msgs)
+    phases
+
+let total_time stats =
+  List.fold_left (fun acc (s : Machine.Netsim.stats) -> acc +. s.Machine.Netsim.time) 0.0 stats

@@ -1,0 +1,34 @@
+(** Running a virtual-grid communication under a layout on a machine
+    model: the workhorse behind Table 2 and Figure 8. *)
+
+open Linalg
+
+val time :
+  ?coalesce:bool ->
+  Machine.Models.t ->
+  layout:Layout.t ->
+  vgrid:int array ->
+  flow:Mat.t ->
+  ?offset:int array ->
+  ?bytes:int ->
+  unit ->
+  Machine.Netsim.stats
+(** Simulate the communication of data-flow matrix [flow] over the
+    virtual grid, folded onto the model's topology by [layout].
+    [coalesce:false] models the generic (non-vectorizable) runtime
+    path used for a general affine communication. *)
+
+val decomposed_time :
+  Machine.Models.t ->
+  layout:Layout.t ->
+  vgrid:int array ->
+  factors:Mat.t list ->
+  ?bytes:int ->
+  unit ->
+  Machine.Netsim.stats list
+(** One phase per factor, executed in sequence (paper §5.3: "L and U
+    are performed one after the other, not in parallel"); the phase of
+    factor [f_i] moves the data that the remaining product still has to
+    deliver. *)
+
+val total_time : Machine.Netsim.stats list -> float

@@ -1,0 +1,34 @@
+let classes ~k ~nv =
+  List.init k (fun c ->
+      let rec members i acc = if i >= nv then List.rev acc else members (i + k) (i :: acc) in
+      members c [])
+
+let distribution_row ~k ~nv ~np =
+  let order = List.concat (classes ~k ~nv) in
+  List.map (fun v -> (v, Layout.place1d (Layout.Grouped k) ~nv ~np v)) order
+
+let figure6 ppf ~k ~nv ~np =
+  Format.fprintf ppf "Initial indices:      ";
+  for v = 0 to nv - 1 do
+    Format.fprintf ppf "%3d" v
+  done;
+  Format.fprintf ppf "@\nGrouped (k = %d):      " k;
+  List.iter
+    (fun cls -> List.iter (fun v -> Format.fprintf ppf "%3d" v) cls)
+    (classes ~k ~nv);
+  Format.fprintf ppf "@\nPhysical (P = %d):     " np;
+  List.iter (fun (_, p) -> Format.fprintf ppf "%3d" p) (distribution_row ~k ~nv ~np);
+  Format.fprintf ppf "@\n"
+
+let figure7 ppf ~vgrid:(nvi, nvj) ~pgrid:(npi, npj) ~ku ~kl =
+  Format.fprintf ppf
+    "virtual %dx%d onto physical %dx%d, GROUPED(%d) x GROUPED(%d)@\n" nvi nvj npi
+    npj ku kl;
+  for j = nvj - 1 downto 0 do
+    for i = 0 to nvi - 1 do
+      let pi = Layout.place1d (Layout.Grouped ku) ~nv:nvi ~np:npi i in
+      let pj = Layout.place1d (Layout.Grouped kl) ~nv:nvj ~np:npj j in
+      Format.fprintf ppf " %d,%d" pi pj
+    done;
+    Format.fprintf ppf "@\n"
+  done

@@ -1,0 +1,24 @@
+(** Grouped-partition inspection helpers (paper Figures 6 and 7). *)
+
+val classes : k:int -> nv:int -> int list list
+(** The class decomposition: [classes ~k:3 ~nv:12] is
+    [[0;3;6;9]; [1;4;7;10]; [2;5;8;11]] — the middle row of Figure 6. *)
+
+val distribution_row : k:int -> nv:int -> np:int -> (int * int) list
+(** [(virtual index, physical processor)] in distribution order: the
+    bottom rows of Figure 6. *)
+
+val figure6 : Format.formatter -> k:int -> nv:int -> np:int -> unit
+(** Render the three rows of Figure 6 (initial indices, grouped order,
+    block mapping). *)
+
+val figure7 :
+  Format.formatter ->
+  vgrid:int * int ->
+  pgrid:int * int ->
+  ku:int ->
+  kl:int ->
+  unit
+(** Figure 7: a 2-D virtual grid mapped with the grouped partition in
+    both dimensions, suited to a product [L U] with parameters [kl]
+    (vertical, rows) and [ku] (horizontal, columns). *)

@@ -1,0 +1,39 @@
+(** Folding a virtual processor grid onto a physical grid.
+
+    Standard HPF-style per-dimension schemes plus the paper's
+    {e grouped partition} (§5.3): for an elementary communication of
+    parameter [k] ([i -> i + k j]), virtual processors are grouped into
+    [k] classes ([class c = i mod k]); communication only happens
+    within a class, so classes are laid out contiguously (sort by
+    [(i mod k, i / k)]) and the reordered sequence is distributed by
+    blocks.  Intra-class shifts then become near-neighbour traffic. *)
+
+type scheme =
+  | Block
+  | Cyclic
+  | Cyclic_block of int
+  | Grouped of int  (** the class count [k] *)
+
+type t = scheme array
+(** One scheme per virtual-grid dimension. *)
+
+val place1d : scheme -> nv:int -> np:int -> int -> int
+(** Physical coordinate of a virtual index. *)
+
+val position1d : scheme -> nv:int -> int -> int
+(** The linear position of a virtual index in the distribution order
+    (identity except for [Grouped]). *)
+
+val place :
+  t -> vgrid:int array -> topo:Machine.Topology.t -> int array -> int
+(** Physical rank of a virtual coordinate.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val local_indices : scheme -> nv:int -> np:int -> int -> int list
+(** The virtual indices owned by one physical coordinate — the local
+    iteration set a code generator would loop over. *)
+
+val all_block : int -> t
+val all_cyclic : int -> t
+
+val pp_scheme : Format.formatter -> scheme -> unit

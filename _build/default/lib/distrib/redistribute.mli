@@ -1,0 +1,41 @@
+(** Changing the data distribution at runtime.
+
+    The grouped partition is tailored to one elementary communication;
+    if the data currently lives under BLOCK or CYCLIC, adopting it
+    costs a redistribution (an all-to-all-ish remap).  This module
+    prices that remap and answers the adoption question the paper
+    leaves implicit: after how many repetitions of the communication
+    does the grouped partition pay for itself? *)
+
+open Linalg
+
+val messages :
+  vgrid:int array ->
+  topo:Machine.Topology.t ->
+  from_layout:Layout.t ->
+  to_layout:Layout.t ->
+  bytes:int ->
+  Machine.Message.t list
+(** One message per virtual processor whose physical home changes. *)
+
+val time :
+  Machine.Models.t ->
+  vgrid:int array ->
+  from_layout:Layout.t ->
+  to_layout:Layout.t ->
+  ?bytes:int ->
+  unit ->
+  Machine.Netsim.stats
+
+val break_even :
+  Machine.Models.t ->
+  vgrid:int array ->
+  from_layout:Layout.t ->
+  to_layout:Layout.t ->
+  flow:Mat.t ->
+  ?bytes:int ->
+  unit ->
+  int option
+(** Smallest number of repetitions of the [flow] communication for
+    which [redistribution + n * time(to)] beats [n * time(from)];
+    [None] when the target layout never wins. *)

@@ -1,0 +1,1 @@
+lib/linalg/fourier.ml: Array List Rat

@@ -1,0 +1,1 @@
+lib/linalg/fourier.mli: Rat

@@ -1,0 +1,1 @@
+lib/linalg/hermite.ml: Array Mat Ratmat

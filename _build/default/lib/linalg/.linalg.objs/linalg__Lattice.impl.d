@@ -1,0 +1,1 @@
+lib/linalg/lattice.ml: Array Format Hermite List Mat Matsolve

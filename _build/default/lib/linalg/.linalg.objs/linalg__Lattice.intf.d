@@ -1,0 +1,1 @@
+lib/linalg/lattice.mli: Format Mat

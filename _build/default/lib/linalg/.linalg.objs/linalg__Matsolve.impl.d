@@ -1,0 +1,1 @@
+lib/linalg/matsolve.ml: Array List Mat Pseudo Random Ratmat Smith

@@ -1,0 +1,1 @@
+lib/linalg/matsolve.mli: Mat Ratmat

@@ -1,0 +1,1 @@
+lib/linalg/pseudo.ml: Mat Ratmat Smith

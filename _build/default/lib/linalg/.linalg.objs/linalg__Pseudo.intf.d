@@ -1,0 +1,1 @@
+lib/linalg/pseudo.mli: Mat Ratmat

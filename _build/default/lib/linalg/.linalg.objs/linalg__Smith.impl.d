@@ -1,0 +1,1 @@
+lib/linalg/smith.ml: Array List Mat

@@ -1,0 +1,1 @@
+lib/linalg/unimodular.ml: Mat Random

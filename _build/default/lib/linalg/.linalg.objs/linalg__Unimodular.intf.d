@@ -1,0 +1,1 @@
+lib/linalg/unimodular.mli: Mat Random

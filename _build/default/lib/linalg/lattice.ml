@@ -1,0 +1,75 @@
+(* Canonical form: the non-zero columns of the column-style HNF of the
+   generator matrix. *)
+
+type t = { n : int; basis : Mat.t option (* n x r, full column rank *) }
+
+let canonicalize gen =
+  let ({ h; _ } : Hermite.col_result) = Hermite.col_style gen in
+  (* keep the non-zero columns *)
+  let cols = ref [] in
+  for j = Mat.cols h - 1 downto 0 do
+    let c = Mat.col h j in
+    if Array.exists (( <> ) 0) c then cols := Mat.of_col c :: !cols
+  done;
+  match !cols with
+  | [] -> None
+  | c :: rest -> Some (List.fold_left Mat.hcat c rest)
+
+let of_columns gen = { n = Mat.rows gen; basis = canonicalize gen }
+
+let standard n = of_columns (Mat.identity n)
+
+let ambient_dim l = l.n
+
+let rank l = match l.basis with None -> 0 | Some b -> Mat.cols b
+
+let basis l =
+  match l.basis with Some b -> b | None -> Mat.zero l.n 1
+
+let mem l v =
+  if Array.length v <> l.n then invalid_arg "Lattice.mem: dimension mismatch";
+  if Array.for_all (( = ) 0) v then true
+  else
+    match l.basis with
+    | None -> false
+    | Some b -> (
+      (* solve b x = v over the integers *)
+      match Matsolve.solve_linear_int b v with Some _ -> true | None -> false)
+
+let index l =
+  match l.basis with
+  | Some b when Mat.cols b = l.n -> abs (Mat.det b)
+  | _ -> invalid_arg "Lattice.index: not full-rank"
+
+let subset a b =
+  a.n = b.n
+  &&
+  match a.basis with
+  | None -> true
+  | Some ba ->
+    let ok = ref true in
+    for j = 0 to Mat.cols ba - 1 do
+      if not (mem b (Mat.col ba j)) then ok := false
+    done;
+    !ok
+
+let equal a b = subset a b && subset b a
+
+let sum a b =
+  if a.n <> b.n then invalid_arg "Lattice.sum: dimension mismatch";
+  match (a.basis, b.basis) with
+  | None, None -> a
+  | Some _, None -> a
+  | None, Some _ -> b
+  | Some ba, Some bb -> { n = a.n; basis = canonicalize (Mat.hcat ba bb) }
+
+let image m l =
+  if Mat.cols m <> l.n then invalid_arg "Lattice.image: dimension mismatch";
+  match l.basis with
+  | None -> { n = Mat.rows m; basis = None }
+  | Some b -> { n = Mat.rows m; basis = canonicalize (Mat.mul m b) }
+
+let pp ppf l =
+  match l.basis with
+  | None -> Format.fprintf ppf "{0} in Z^%d" l.n
+  | Some b -> Format.fprintf ppf "lattice %a in Z^%d" Mat.pp_flat b l.n

@@ -1,0 +1,38 @@
+(** One-sided pseudo-inverses (paper, Appendix A.2).
+
+    For a full-rank rectangular integer matrix [x] of size [u x v]:
+    - flat ([u < v]): the right inverse [x+ = xt (x xt)^-1] satisfies
+      [x * x+ = Id_u];
+    - narrow ([u > v]): the left inverse [x+ = (xt x)^-1 xt] satisfies
+      [x+ * x = Id_v];
+    - square non-singular: the ordinary inverse.
+
+    The paper's access graph is free to use {e any} integer matrix [g]
+    with [g * f = Id] in place of the true left pseudo-inverse (§2.2
+    remark); {!integer_left_inverse} and {!integer_right_inverse}
+    produce such matrices via the Smith form whenever they exist. *)
+
+val right_inverse : Mat.t -> Ratmat.t option
+(** Rational right inverse of a flat (or square) full-row-rank matrix.
+    [None] when the matrix does not have full row rank. *)
+
+val left_inverse : Mat.t -> Ratmat.t option
+(** Rational left inverse of a narrow (or square) full-column-rank
+    matrix.  [None] when the matrix does not have full column rank. *)
+
+val pseudo : Mat.t -> Ratmat.t option
+(** The Moore-Penrose-style pseudo-inverse used by the paper: dispatch
+    on the matrix shape.  For square matrices this is the ordinary
+    inverse. *)
+
+val integer_left_inverse : Mat.t -> Mat.t option
+(** An integer matrix [g] with [g * f = Id], when one exists (iff [f]
+    has full column rank and all invariant factors equal 1). *)
+
+val integer_right_inverse : Mat.t -> Mat.t option
+(** An integer matrix [g] with [f * g = Id], when one exists. *)
+
+val left_inverse_with : Mat.t -> param:Ratmat.t -> Ratmat.t option
+(** [left_inverse_with f ~param] is [f+ + param (Id - f f+)] — the
+    general form of matrices [h] with [h f = Id] (paper §2.2 remark,
+    with [param] the arbitrary matrix [M]). *)

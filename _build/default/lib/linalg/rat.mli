@@ -1,0 +1,53 @@
+(** Exact rational arithmetic on machine integers.
+
+    Values are kept normalized: the denominator is positive and the
+    numerator and denominator are coprime.  All matrices manipulated in
+    this project are tiny (entries well below 10^6), so machine [int]
+    rationals are exact in the regime we operate in. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero on division by [zero]. *)
+
+val neg : t -> t
+val abs : t -> t
+
+val inv : t -> t
+(** @raise Division_by_zero on [inv zero]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val sign : t -> int
+
+val is_zero : t -> bool
+val is_one : t -> bool
+
+val is_integer : t -> bool
+
+val to_int : t -> int
+(** @raise Invalid_argument if the value is not an integer. *)
+
+val to_float : t -> float
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

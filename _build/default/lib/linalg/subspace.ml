@@ -1,0 +1,93 @@
+(* A subspace is stored as a matrix whose columns form a basis (empty
+   list for the zero space). *)
+
+type t = { n : int; basis : Mat.t list }
+
+(* Reduce a spanning list of columns to a basis. *)
+let reduce n cols =
+  match cols with
+  | [] -> { n; basis = [] }
+  | _ ->
+    let stacked = List.fold_left Mat.hcat (List.hd cols) (List.tl cols) in
+    (* pivot columns of the rref form a basis of the column space *)
+    let _, pivots = Ratmat.rref (Ratmat.of_mat stacked) in
+    let basis = List.map (fun j -> Mat.of_col (Mat.col stacked j)) pivots in
+    { n; basis }
+
+let of_columns cols ~n =
+  List.iter
+    (fun c ->
+      if Mat.rows c <> n || Mat.cols c <> 1 then
+        invalid_arg "Subspace.of_columns: expected n x 1 columns")
+    cols;
+  reduce n cols
+
+let kernel m = reduce (Mat.cols m) (Ratmat.kernel_of_mat m)
+
+let full n = reduce n (List.init n (fun i -> Mat.of_col (Array.init n (fun j -> if i = j then 1 else 0))))
+
+let zero n = { n; basis = [] }
+
+let ambient_dim s = s.n
+let dim s = List.length s.basis
+
+let basis s = s.basis
+
+let mem s v =
+  if Mat.rows v <> s.n || Mat.cols v <> 1 then
+    invalid_arg "Subspace.mem: expected an n x 1 column";
+  if Mat.is_zero v then true
+  else
+    match s.basis with
+    | [] -> false
+    | cols ->
+      let b = List.fold_left Mat.hcat (List.hd cols) (List.tl cols) in
+      Ratmat.solve (Ratmat.of_mat b) (Ratmat.of_mat v) <> None
+
+let subset a b =
+  a.n = b.n && List.for_all (fun v -> mem b v) a.basis
+
+let equal a b = subset a b && subset b a
+
+let sum a b =
+  if a.n <> b.n then invalid_arg "Subspace.sum: ambient dimension mismatch";
+  reduce a.n (a.basis @ b.basis)
+
+(* Intersection via kernels: x in A ∩ B iff x is in A and annihilated
+   by any matrix whose kernel is B.  Build a matrix with kernel B from
+   the rref of B's basis transpose: rows orthogonal... simpler: solve
+   with parameters.  x = A y = B z: kernel of [A | -B] gives the
+   coefficient pairs; the A-part spans the intersection. *)
+let intersect a b =
+  if a.n <> b.n then invalid_arg "Subspace.intersect: ambient dimension mismatch";
+  match (a.basis, b.basis) with
+  | [], _ | _, [] -> zero a.n
+  | ca, cb ->
+    let ma = List.fold_left Mat.hcat (List.hd ca) (List.tl ca) in
+    let mb = List.fold_left Mat.hcat (List.hd cb) (List.tl cb) in
+    let combined = Mat.hcat ma (Mat.neg mb) in
+    let vectors =
+      List.map
+        (fun k ->
+          (* k = (y; z): intersection vector = ma * y *)
+          let y = Mat.sub_matrix k ~row:0 ~col:0 ~rows:(Mat.cols ma) ~cols:1 in
+          Mat.mul ma y)
+        (Ratmat.kernel_of_mat combined)
+    in
+    reduce a.n (List.filter (fun v -> not (Mat.is_zero v)) vectors)
+
+let image m s =
+  if Mat.cols m <> s.n then invalid_arg "Subspace.image: dimension mismatch";
+  reduce (Mat.rows m)
+    (List.filter
+       (fun v -> not (Mat.is_zero v))
+       (List.map (fun v -> Mat.mul m v) s.basis))
+
+let pp ppf s =
+  Format.fprintf ppf "span{";
+  List.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Mat.pp_flat ppf (Mat.transpose v))
+    s.basis;
+  Format.fprintf ppf "} in Q^%d" s.n

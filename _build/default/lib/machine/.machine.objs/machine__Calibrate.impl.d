@@ -1,0 +1,1 @@
+lib/machine/calibrate.ml: Eventsim List Message

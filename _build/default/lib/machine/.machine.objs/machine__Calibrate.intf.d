@@ -1,0 +1,1 @@
+lib/machine/calibrate.mli: Eventsim Topology

@@ -1,0 +1,1 @@
+lib/machine/collective.ml: List Message Netsim Topology

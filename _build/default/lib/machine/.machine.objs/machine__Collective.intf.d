@@ -1,0 +1,1 @@
+lib/machine/collective.mli: Message Netsim Topology

@@ -1,0 +1,1 @@
+lib/machine/eventsim.ml: Array Hashtbl List Message Option Queue Route

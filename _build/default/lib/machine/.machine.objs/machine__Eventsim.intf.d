@@ -1,0 +1,1 @@
+lib/machine/eventsim.mli: Message Topology

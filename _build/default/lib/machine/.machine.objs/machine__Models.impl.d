@@ -1,0 +1,1 @@
+lib/machine/models.ml: Array Calibrate Collective Message Netsim Topology

@@ -1,0 +1,1 @@
+lib/machine/models.mli: Eventsim Message Netsim Topology

@@ -1,0 +1,1 @@
+lib/machine/netsim.ml: Array Format Hashtbl List Message Option Route Topology

@@ -1,0 +1,1 @@
+lib/machine/netsim.mli: Format Message Topology

@@ -1,0 +1,1 @@
+lib/machine/patterns.ml: Array Linalg Mat Message

@@ -1,0 +1,1 @@
+lib/machine/patterns.mli: Linalg Mat Message

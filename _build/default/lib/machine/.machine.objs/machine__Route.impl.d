@@ -1,0 +1,1 @@
+lib/machine/route.ml: Array List Topology

@@ -1,0 +1,36 @@
+(** Software macro-communications on a mesh: binomial trees.
+
+    When the machine has no hardware collective network, a broadcast
+    (reduction, scatter, gather) is implemented as [ceil(log2 P)]
+    rounds of point-to-point messages whose reach doubles each round.
+    Used as the software baseline against the CM-5-style hardware
+    collectives of {!Models}. *)
+
+val broadcast : Topology.t -> Netsim.params -> bytes:int -> float
+(** Tree broadcast of one item of [bytes] to the whole machine. *)
+
+val reduce : Topology.t -> Netsim.params -> bytes:int -> float
+(** Tree combine towards a root: same round structure. *)
+
+val scatter : Topology.t -> Netsim.params -> bytes:int -> float
+(** Root sends a distinct [bytes]-sized item to every processor;
+    implemented as a splitting tree: round [r] forwards half the
+    remaining payload. *)
+
+val gather : Topology.t -> Netsim.params -> bytes:int -> float
+
+val partial_broadcast :
+  Topology.t -> Netsim.params -> axis:int -> bytes:int -> float
+(** Broadcast along a single axis of the grid (each row/column root
+    broadcasts within its line, all lines in parallel). *)
+
+val broadcast_rounds : Topology.t -> root:int -> bytes:int -> Message.t list list
+(** The binomial-tree broadcast as explicit per-round message lists:
+    in round [r], every rank that already holds the item forwards it
+    to [rank + 2^r] (rank space relative to the root).  Feed the
+    rounds to {!Netsim.run} or {!Eventsim.run} to price the tree under
+    the actual network rather than the closed form. *)
+
+val simulate_broadcast :
+  Topology.t -> Netsim.params -> root:int -> bytes:int -> float
+(** Sum of the simulated round times. *)

@@ -1,0 +1,160 @@
+type mode = Store_forward | Wormhole
+
+type params = { bytes_per_cycle : int; startup_cycles : int; mode : mode }
+
+let default_params =
+  { bytes_per_cycle = 16; startup_cycles = 64; mode = Store_forward }
+
+type result = {
+  cycles : int;
+  delivered : int;
+  max_link_queue : int;
+  total_link_busy : int;
+}
+
+type packet = {
+  route : (int * int) array;
+  bytes : int;
+  mutable hop : int;  (* index of the link currently being crossed *)
+  mutable remaining : int;  (* bytes left on the current link *)
+}
+
+type link_state = {
+  queue : packet Queue.t;
+  mutable current : packet option;
+}
+
+(* Wormhole: a greedy circuit scheduler.  Messages are considered in
+   injection order; each starts as soon as it is injected and every
+   link of its path is free, holding the whole path for
+   [hops + ceil(bytes / bw)] cycles. *)
+let run_wormhole topo params msgs =
+  let remote = List.filter (fun m -> not (Message.is_local m)) msgs in
+  let n_local = List.length msgs - List.length remote in
+  let next_inject : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let link_free : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let finish = ref 0 in
+  let busy = ref 0 in
+  let max_queue = ref 0 in
+  List.iter
+    (fun (m : Message.t) ->
+      let inject =
+        Option.value ~default:params.startup_cycles
+          (Hashtbl.find_opt next_inject m.Message.src)
+      in
+      Hashtbl.replace next_inject m.Message.src (inject + params.startup_cycles);
+      let path = Route.path topo ~src:m.Message.src ~dst:m.Message.dst in
+      let path_free =
+        List.fold_left
+          (fun acc l -> max acc (Option.value ~default:0 (Hashtbl.find_opt link_free l)))
+          0 path
+      in
+      let start = max inject path_free in
+      let duration =
+        List.length path
+        + ((max 1 m.Message.bytes + params.bytes_per_cycle - 1) / params.bytes_per_cycle)
+      in
+      let done_at = start + duration in
+      List.iter (fun l -> Hashtbl.replace link_free l done_at) path;
+      busy := !busy + (duration * List.length path);
+      if start - inject > !max_queue then max_queue := start - inject;
+      if done_at > !finish then finish := done_at)
+    remote;
+  {
+    cycles = !finish;
+    delivered = List.length remote + n_local;
+    max_link_queue = !max_queue;
+    total_link_busy = !busy;
+  }
+
+let run topo params msgs =
+  if params.bytes_per_cycle <= 0 || params.startup_cycles < 0 then
+    invalid_arg "Eventsim.run: bad parameters";
+  if params.mode = Wormhole then run_wormhole topo params msgs
+  else begin
+  let remote = List.filter (fun m -> not (Message.is_local m)) msgs in
+  let n_local = List.length msgs - List.length remote in
+  (* injection schedule: per sender, messages go out one every
+     startup_cycles, in list order *)
+  let next_inject : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let injections =
+    List.map
+      (fun (m : Message.t) ->
+        (* the k-th message of a sender reaches the wire after k+1
+           software start-ups *)
+        let t =
+          Option.value ~default:params.startup_cycles
+            (Hashtbl.find_opt next_inject m.Message.src)
+        in
+        Hashtbl.replace next_inject m.Message.src (t + params.startup_cycles);
+        let route = Array.of_list (Route.path topo ~src:m.Message.src ~dst:m.Message.dst) in
+        ( t,
+          {
+            route;
+            bytes = max 1 m.Message.bytes;
+            hop = 0;
+            remaining = max 1 m.Message.bytes;
+          } ))
+      remote
+  in
+  let links : (int * int, link_state) Hashtbl.t = Hashtbl.create 64 in
+  (* create every link up front: the table must not grow while it is
+     being iterated *)
+  List.iter
+    (fun (_, p) ->
+      Array.iter
+        (fun l ->
+          if not (Hashtbl.mem links l) then
+            Hashtbl.replace links l { queue = Queue.create (); current = None })
+        p.route)
+    injections;
+  let link l = Hashtbl.find links l in
+  let delivered = ref 0 in
+  let total = List.length remote in
+  let max_queue = ref 0 in
+  let busy = ref 0 in
+  let pending = ref injections in
+  let cycle = ref 0 in
+  let enqueue p =
+    let l = link p.route.(p.hop) in
+    Queue.push p l.queue;
+    let depth = Queue.length l.queue in
+    if depth > !max_queue then max_queue := depth
+  in
+  let cap = 50_000_000 in
+  while !delivered < total do
+    if !cycle > cap then failwith "Eventsim.run: simulation did not terminate";
+    (* inject the packets whose time has come *)
+    let now, later = List.partition (fun (t, _) -> t <= !cycle) !pending in
+    pending := later;
+    List.iter (fun (_, p) -> enqueue p) now;
+    (* each link transmits *)
+    Hashtbl.iter
+      (fun _ s ->
+        (match s.current with
+        | None -> if not (Queue.is_empty s.queue) then s.current <- Some (Queue.pop s.queue)
+        | Some _ -> ());
+        match s.current with
+        | None -> ()
+        | Some p ->
+          incr busy;
+          p.remaining <- p.remaining - params.bytes_per_cycle;
+          if p.remaining <= 0 then begin
+            s.current <- None;
+            p.hop <- p.hop + 1;
+            if p.hop >= Array.length p.route then incr delivered
+            else begin
+              p.remaining <- p.bytes;
+              enqueue p
+            end
+          end)
+      links;
+    incr cycle
+  done;
+  {
+    cycles = !cycle;
+    delivered = !delivered + n_local;
+    max_link_queue = !max_queue;
+    total_link_busy = !busy;
+  }
+  end

@@ -1,0 +1,41 @@
+(** Store-and-forward discrete-event simulation.
+
+    {!Netsim} prices a communication with a closed-form model (start-up
+    serialization + hottest link + distance).  This module actually
+    {e runs} the traffic, cycle by cycle: every message is a packet
+    following its dimension-order route; a directed link transmits the
+    bytes of one packet at a time at a fixed rate and packets queue
+    FIFO behind each other — the "serial messages on a single link"
+    conflicts the paper observed on the Paragon, made concrete.
+
+    Used to cross-validate the closed-form model: rankings (which of
+    two communication patterns is faster) agree between the two
+    simulators on the paper's experiments. *)
+
+type mode =
+  | Store_forward  (** a packet fully crosses one link at a time *)
+  | Wormhole
+      (** circuit-like: a message holds its whole path while its bytes
+          stream through — shorter when free, blocking when contended *)
+
+type params = {
+  bytes_per_cycle : int;  (** link bandwidth *)
+  startup_cycles : int;  (** injection cost per message at the sender *)
+  mode : mode;
+}
+
+val default_params : params
+(** [bytes_per_cycle = 16], [startup_cycles = 64]: per-message software
+    overhead dominates per-byte cost by two orders of magnitude, as on
+    the real machines of the era. *)
+
+type result = {
+  cycles : int;  (** makespan *)
+  delivered : int;
+  max_link_queue : int;  (** worst backlog observed on one link *)
+  total_link_busy : int;  (** sum over links of busy cycles *)
+}
+
+val run : Topology.t -> params -> Message.t list -> result
+(** Local messages are delivered at time 0.  Deterministic: messages
+    are injected in list order, one per sender per [startup_cycles]. *)

@@ -1,0 +1,11 @@
+(* A point-to-point message between physical ranks. *)
+
+type t = { src : int; dst : int; bytes : int }
+
+let make ~src ~dst ~bytes =
+  if bytes < 0 then invalid_arg "Message.make: negative size";
+  { src; dst; bytes }
+
+let is_local m = m.src = m.dst
+
+let pp ppf m = Format.fprintf ppf "%d -> %d (%dB)" m.src m.dst m.bytes

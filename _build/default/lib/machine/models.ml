@@ -1,0 +1,110 @@
+type hw_collective = { coll_alpha : float; coll_beta : float }
+
+type t = {
+  name : string;
+  topo : Topology.t;
+  net : Netsim.params;
+  hw : hw_collective option;
+}
+
+(* Times in microsecond-ish units; the ratios are what matters.
+   Calibrated so the CM-5 shows the paper's Table 1 ordering:
+   reduction ~ broadcast << translation << general, with roughly an
+   order of magnitude between broadcast and a general communication
+   (§3.1). *)
+let cm5 ?(nodes = 32) () =
+  let q = max 1 (nodes / 8) in
+  {
+    name = "cm5";
+    topo = Topology.mesh2d ~p:8 ~q;
+    net = { Netsim.alpha = 10.0; beta = 0.15; hop = 0.5 };
+    hw = Some { coll_alpha = 6.0; coll_beta = 0.02 };
+  }
+
+let paragon ?(p = 8) ?(q = 4) () =
+  {
+    name = "paragon";
+    topo = Topology.mesh2d ~p ~q;
+    net = { Netsim.alpha = 10.0; beta = 0.1; hop = 0.4 };
+    hw = None;
+  }
+
+let t3d ?(p = 4) ?(q = 4) ?(r = 2) () =
+  {
+    name = "t3d";
+    topo = Topology.torus3d ~p ~q ~r;
+    net = { Netsim.alpha = 3.0; beta = 0.05; hop = 0.15 };
+    hw = None;
+  }
+
+let sp2 ?(nodes = 16) () =
+  {
+    name = "sp2";
+    topo = Topology.ring nodes;
+    net = { Netsim.alpha = 40.0; beta = 0.08; hop = 0.1 };
+    hw = None;
+  }
+
+let of_calibration ~name topo params =
+  let fit = Calibrate.fit_model topo params in
+  {
+    name;
+    topo;
+    net =
+      {
+        Netsim.alpha = fit.Calibrate.alpha;
+        beta = fit.Calibrate.beta;
+        hop = 1.0 (* one router cycle per hop *);
+      };
+    hw = None;
+  }
+
+let broadcast_time t ~bytes =
+  match t.hw with
+  | Some hw -> hw.coll_alpha +. (hw.coll_beta *. float_of_int bytes) +. 1.0
+  | None -> Collective.broadcast t.topo t.net ~bytes
+
+let reduce_time t ~bytes =
+  match t.hw with
+  | Some hw -> hw.coll_alpha +. (hw.coll_beta *. float_of_int bytes)
+  | None -> Collective.reduce t.topo t.net ~bytes
+
+let scatter_time t ~bytes =
+  match t.hw with
+  | Some hw ->
+    (* the control network pipelines the items; the root still pushes
+       P payloads *)
+    hw.coll_alpha
+    +. (hw.coll_beta *. float_of_int (bytes * Topology.size t.topo))
+  | None -> Collective.scatter t.topo t.net ~bytes
+
+let gather_time t ~bytes = scatter_time t ~bytes
+
+let run ?coalesce t msgs = Netsim.run ?coalesce t.topo t.net msgs
+
+let translation_time t ~bytes =
+  (* shift by one along axis 0: every processor sends to its
+     neighbour; conflict-free *)
+  let topo = t.topo in
+  let n = Topology.size topo in
+  let msgs = ref [] in
+  for r = 0 to n - 1 do
+    let c = Topology.coords_of topo r in
+    let c' = Array.copy c in
+    c'.(0) <- (c.(0) + 1) mod Topology.dim topo 0;
+    if not (Array.for_all2 ( = ) c c') then
+      msgs := Message.make ~src:r ~dst:(Topology.rank_of topo c') ~bytes :: !msgs
+  done;
+  (Netsim.run topo t.net !msgs).Netsim.time
+
+let general_time t ~bytes =
+  (* the rank-reversal permutation: every message crosses the centre,
+     and the generic runtime path cannot vectorize it *)
+  let topo = t.topo in
+  let n = Topology.size topo in
+  let msgs = ref [] in
+  for r = 0 to n - 1 do
+    let dst = n - 1 - r in
+    if dst <> r then msgs := Message.make ~src:r ~dst ~bytes :: !msgs
+  done;
+  (Netsim.run ~coalesce:false topo t.net !msgs).Netsim.time

@@ -1,0 +1,55 @@
+(** Machine models (the paper's CM-5 and Intel Paragon, simulated).
+
+    The real machines are extinct; these models preserve the two
+    phenomena the paper measures (see DESIGN.md, substitutions):
+    - the CM-5's control network executes broadcasts and reductions in
+      hardware, an order of magnitude faster than general affine
+      communications through the data network (Table 1);
+    - the Paragon's 2-D mesh serializes conflicting messages on shared
+      links, which communication decomposition avoids (Table 2). *)
+
+type hw_collective = { coll_alpha : float; coll_beta : float }
+
+type t = {
+  name : string;
+  topo : Topology.t;
+  net : Netsim.params;
+  hw : hw_collective option;
+}
+
+val cm5 : ?nodes:int -> unit -> t
+(** 32 processors by default; hardware collectives enabled. *)
+
+val paragon : ?p:int -> ?q:int -> unit -> t
+(** An 8x4 mesh by default; software collectives only. *)
+
+val t3d : ?p:int -> ?q:int -> ?r:int -> unit -> t
+(** A Cray T3D stand-in: 3-D torus (4x4x2 by default), fast links,
+    software collectives. *)
+
+val sp2 : ?nodes:int -> unit -> t
+(** An IBM SP-2 stand-in: multistage network approximated by a ring of
+    switches with near-uniform distances and high per-message
+    start-up. *)
+
+val of_calibration :
+  name:string -> Topology.t -> Eventsim.params -> t
+(** Build a closed-form model whose [alpha]/[beta] are fitted from
+    event-simulated ping-pongs on the given machine (LogP style,
+    {!Calibrate}); the hop cost comes from the wormhole pipeline
+    rate. *)
+
+val broadcast_time : t -> bytes:int -> float
+val reduce_time : t -> bytes:int -> float
+val scatter_time : t -> bytes:int -> float
+val gather_time : t -> bytes:int -> float
+
+val translation_time : t -> bytes:int -> float
+(** Uniform shift by one grid step: conflict-free by construction. *)
+
+val general_time : t -> bytes:int -> float
+(** A representative general affine communication: the transpose
+    pattern [p -> reversal(p)], which concentrates traffic on the
+    bisection. *)
+
+val run : ?coalesce:bool -> t -> Message.t list -> Netsim.stats

@@ -1,0 +1,85 @@
+type params = { alpha : float; beta : float; hop : float }
+
+type stats = {
+  time : float;
+  messages : int;
+  total_bytes : int;
+  total_hops : int;
+  max_link_load : int;
+  max_sender : int;
+  max_receiver : int;
+  max_hops : int;
+}
+
+let link_loads topo msgs =
+  let loads : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (m : Message.t) ->
+      if not (Message.is_local m) then
+        List.iter
+          (fun link ->
+            let cur = Option.value ~default:0 (Hashtbl.find_opt loads link) in
+            Hashtbl.replace loads link (cur + m.Message.bytes))
+          (Route.path topo ~src:m.Message.src ~dst:m.Message.dst))
+    msgs;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) loads []
+
+(* Coalesce messages sharing (src, dst): one start-up, summed bytes. *)
+let coalesce_messages msgs =
+  let tbl : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (m : Message.t) ->
+      let k = (m.Message.src, m.Message.dst) in
+      let cur = Option.value ~default:0 (Hashtbl.find_opt tbl k) in
+      Hashtbl.replace tbl k (cur + m.Message.bytes))
+    msgs;
+  Hashtbl.fold (fun (src, dst) bytes acc -> Message.make ~src ~dst ~bytes :: acc) tbl []
+
+let run ?(coalesce = true) topo params msgs =
+  let remote = List.filter (fun m -> not (Message.is_local m)) msgs in
+  let remote = if coalesce then coalesce_messages remote else remote in
+  let n = Topology.size topo in
+  let send = Array.make n 0 and recv = Array.make n 0 in
+  let total_bytes = ref 0 and total_hops = ref 0 and max_hops = ref 0 in
+  let loads : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (m : Message.t) ->
+      send.(m.Message.src) <- send.(m.Message.src) + 1;
+      recv.(m.Message.dst) <- recv.(m.Message.dst) + 1;
+      total_bytes := !total_bytes + m.Message.bytes;
+      let h = Route.hops topo ~src:m.Message.src ~dst:m.Message.dst in
+      total_hops := !total_hops + h;
+      if h > !max_hops then max_hops := h;
+      List.iter
+        (fun link ->
+          let cur = Option.value ~default:0 (Hashtbl.find_opt loads link) in
+          Hashtbl.replace loads link (cur + m.Message.bytes))
+        (Route.path topo ~src:m.Message.src ~dst:m.Message.dst))
+    remote;
+  let max_link_load = Hashtbl.fold (fun _ v acc -> max v acc) loads 0 in
+  let max_sender = Array.fold_left max 0 send in
+  let max_receiver = Array.fold_left max 0 recv in
+  let serial = max max_sender max_receiver in
+  let time =
+    if remote = [] then 0.0
+    else
+      (params.alpha *. float_of_int serial)
+      +. (params.beta *. float_of_int max_link_load)
+      +. (params.hop *. float_of_int !max_hops)
+  in
+  {
+    time;
+    messages = List.length remote;
+    total_bytes = !total_bytes;
+    total_hops = !total_hops;
+    max_link_load;
+    max_sender;
+    max_receiver;
+    max_hops = !max_hops;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "time %.2f (msgs %d, bytes %d, max link %d, max send %d, max recv %d, max hops %d)"
+    s.time s.messages s.total_bytes s.max_link_load s.max_sender s.max_receiver
+    s.max_hops

@@ -1,0 +1,49 @@
+(** Contention-aware communication cost model.
+
+    The completion time of a set of simultaneous messages combines:
+    - sender/receiver serialization: a node injects (drains) one
+      message at a time, each paying the start-up [alpha];
+    - bandwidth: the most loaded directed link transfers its bytes
+      serially at [beta] per byte — this is where general affine
+      communications lose: dimension-order routes pile onto shared
+      links, while axis-parallel elementary communications spread
+      evenly (paper §4, Table 2);
+    - distance: the longest route pays [hop] per link.
+
+    Messages between the same (src, dst) pair of physical processors
+    are coalesced into one message whose size is the sum — the
+    compiled code would vectorize them (paper §3.5), and the physical
+    channel carries them as one transfer anyway.
+
+    [time = alpha * max(sender, receiver serialization)
+          + beta * max link load (bytes)
+          + hop * longest path].  Local messages ([src = dst]) are
+    free. *)
+
+type params = { alpha : float; beta : float; hop : float }
+
+type stats = {
+  time : float;
+  messages : int;  (** non-local messages *)
+  total_bytes : int;
+  total_hops : int;
+  max_link_load : int;  (** bytes through the most loaded link *)
+  max_sender : int;  (** messages injected by the busiest node *)
+  max_receiver : int;
+  max_hops : int;
+}
+
+val run : ?coalesce:bool -> Topology.t -> params -> Message.t list -> stats
+(** [coalesce] (default [true]) merges same-pair messages.  Pass
+    [false] to model the runtime's generic path for a {e general}
+    affine communication: the pattern is too irregular to vectorize,
+    so every element pays its own start-up — the very overhead the
+    paper's decomposition removes. *)
+
+val coalesce_messages : Message.t list -> Message.t list
+(** Merge messages sharing (src, dst) into one with summed bytes. *)
+
+val link_loads : Topology.t -> Message.t list -> ((int * int) * int) list
+(** Bytes per directed link, for inspection. *)
+
+val pp_stats : Format.formatter -> stats -> unit

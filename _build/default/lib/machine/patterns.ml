@@ -1,0 +1,46 @@
+open Linalg
+
+type boundary = [ `Wrap | `Clip ]
+
+let iter_box extents f =
+  let n = Array.length extents in
+  let idx = Array.make n 0 in
+  let rec go d =
+    if d = n then f (Array.copy idx)
+    else
+      for v = 0 to extents.(d) - 1 do
+        idx.(d) <- v;
+        go (d + 1)
+      done
+  in
+  if n > 0 then go 0
+
+let in_box extents v =
+  Array.length v = Array.length extents
+  && Array.for_all2 (fun x e -> x >= 0 && x < e) v extents
+
+let resolve boundary extents v =
+  match boundary with
+  | `Wrap -> Some (Array.map2 (fun x e -> ((x mod e) + e) mod e) v extents)
+  | `Clip -> if in_box extents v then Some v else None
+
+let affine_messages ?(boundary = `Wrap) ~vgrid ~flow ?offset ~bytes ~place () =
+  let offset =
+    match offset with Some o -> o | None -> Array.make (Mat.rows flow) 0
+  in
+  let msgs = ref [] in
+  iter_box vgrid (fun v ->
+      let raw = Array.map2 ( + ) (Mat.mul_vec flow v) offset in
+      match resolve boundary vgrid raw with
+      | Some dst -> msgs := Message.make ~src:(place v) ~dst:(place dst) ~bytes :: !msgs
+      | None -> ());
+  !msgs
+
+let translation_messages ?(boundary = `Wrap) ~vgrid ~shift ~bytes ~place () =
+  let msgs = ref [] in
+  iter_box vgrid (fun v ->
+      let raw = Array.map2 ( + ) v shift in
+      match resolve boundary vgrid raw with
+      | Some dst -> msgs := Message.make ~src:(place v) ~dst:(place dst) ~bytes :: !msgs
+      | None -> ());
+  !msgs

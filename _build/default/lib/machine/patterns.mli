@@ -1,0 +1,39 @@
+(** Communication patterns induced by affine data-flow matrices.
+
+    A residual communication of data-flow matrix [T] makes virtual
+    processor [v] send its item to [T v + offset]; given a placement of
+    virtual processors onto physical ranks, this yields the message
+    list fed to {!Netsim}.
+
+    By default the virtual index space is toroidal ([`Wrap]):
+    destinations are taken modulo the grid extents, so a determinant-1
+    data flow is a bijection of the virtual space and every layout is
+    compared on the same number of messages (no boundary artifacts).
+    [`Clip] drops out-of-range destinations instead. *)
+
+open Linalg
+
+type boundary = [ `Wrap | `Clip ]
+
+val iter_box : int array -> (int array -> unit) -> unit
+(** Enumerate all integer points of the box [[0, extent_i)]. *)
+
+val affine_messages :
+  ?boundary:boundary ->
+  vgrid:int array ->
+  flow:Mat.t ->
+  ?offset:int array ->
+  bytes:int ->
+  place:(int array -> int) ->
+  unit ->
+  Message.t list
+(** One message per virtual processor [v] towards [flow v + offset]. *)
+
+val translation_messages :
+  ?boundary:boundary ->
+  vgrid:int array ->
+  shift:int array ->
+  bytes:int ->
+  place:(int array -> int) ->
+  unit ->
+  Message.t list

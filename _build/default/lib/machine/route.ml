@@ -1,0 +1,37 @@
+(* Step direction along dimension [d]: +1 or -1, taking the shorter
+   way around on a torus. *)
+let step_dir topo cur target d =
+  let n = Topology.dim topo d in
+  let fwd = ((target - cur) mod n + n) mod n in
+  if not (Topology.is_torus topo) then if target > cur then 1 else -1
+  else if fwd <= n - fwd then 1
+  else -1
+
+let path topo ~src ~dst =
+  let cur = Topology.coords_of topo src in
+  let target = Topology.coords_of topo dst in
+  let hops = ref [] in
+  for d = 0 to Topology.ndims topo - 1 do
+    while cur.(d) <> target.(d) do
+      let from_rank = Topology.rank_of topo cur in
+      let n = Topology.dim topo d in
+      let dir = step_dir topo cur.(d) target.(d) d in
+      cur.(d) <- ((cur.(d) + dir) mod n + n) mod n;
+      let to_rank = Topology.rank_of topo cur in
+      hops := (from_rank, to_rank) :: !hops
+    done
+  done;
+  List.rev !hops
+
+let hops topo ~src ~dst =
+  let a = Topology.coords_of topo src and b = Topology.coords_of topo dst in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i x ->
+      let d = abs (x - b.(i)) in
+      let d =
+        if Topology.is_torus topo then min d (Topology.dim topo i - d) else d
+      in
+      acc := !acc + d)
+    a;
+  !acc

@@ -1,0 +1,13 @@
+(** Dimension-order (XY) routing on a mesh.
+
+    Every message follows the deterministic path correcting coordinate
+    0 first, then coordinate 1, etc. — the Paragon's routing
+    discipline, and the reason simultaneous general communications
+    collide on shared links. *)
+
+val path : Topology.t -> src:int -> dst:int -> (int * int) list
+(** Unit hops as [(from_rank, to_rank)] pairs; empty when
+    [src = dst]. *)
+
+val hops : Topology.t -> src:int -> dst:int -> int
+(** Manhattan distance. *)

@@ -1,0 +1,52 @@
+type t = { dims : int array; torus : bool }
+
+let make ?(torus = false) dims =
+  if Array.length dims = 0 then invalid_arg "Topology.make: no dimensions";
+  Array.iter (fun d -> if d <= 0 then invalid_arg "Topology.make: non-positive dim") dims;
+  { dims = Array.copy dims; torus }
+
+let line n = make [| n |]
+let ring n = make ~torus:true [| n |]
+let mesh2d ~p ~q = make [| p; q |]
+let mesh3d ~p ~q ~r = make [| p; q; r |]
+let torus3d ~p ~q ~r = make ~torus:true [| p; q; r |]
+
+let is_torus t = t.torus
+
+let ndims t = Array.length t.dims
+let size t = Array.fold_left ( * ) 1 t.dims
+let dim t i = t.dims.(i)
+
+let rank_of t coords =
+  if Array.length coords <> Array.length t.dims then
+    invalid_arg "Topology.rank_of: dimension mismatch";
+  let r = ref 0 in
+  for i = 0 to Array.length t.dims - 1 do
+    if coords.(i) < 0 || coords.(i) >= t.dims.(i) then
+      invalid_arg "Topology.rank_of: out of range";
+    r := (!r * t.dims.(i)) + coords.(i)
+  done;
+  !r
+
+let coords_of t rank =
+  if rank < 0 || rank >= size t then invalid_arg "Topology.coords_of: out of range";
+  let n = Array.length t.dims in
+  let coords = Array.make n 0 in
+  let r = ref rank in
+  for i = n - 1 downto 0 do
+    coords.(i) <- !r mod t.dims.(i);
+    r := !r / t.dims.(i)
+  done;
+  coords
+
+let valid t coords =
+  Array.length coords = Array.length t.dims
+  && Array.for_all2 (fun c d -> c >= 0 && c < d) coords t.dims
+
+let diameter t =
+  if t.torus then Array.fold_left (fun acc d -> acc + (d / 2)) 0 t.dims
+  else Array.fold_left (fun acc d -> acc + d - 1) 0 t.dims
+
+let pp ppf t =
+  Format.fprintf ppf "%s"
+    (String.concat "x" (Array.to_list (Array.map string_of_int t.dims)))

@@ -1,0 +1,34 @@
+(** Processor grid topologies.
+
+    The paper's target machines are grids: the Intel Paragon is a 2-D
+    mesh, the Cray T3D a 3-D torus; we model rectangular meshes and
+    tori of any dimension.  Ranks are row-major. *)
+
+type t = private { dims : int array; torus : bool }
+
+val make : ?torus:bool -> int array -> t
+(** @raise Invalid_argument on empty or non-positive dimensions.
+    [torus] (default false) adds wrap-around links in every
+    dimension. *)
+
+val line : int -> t
+val ring : int -> t
+val mesh2d : p:int -> q:int -> t
+val mesh3d : p:int -> q:int -> r:int -> t
+val torus3d : p:int -> q:int -> r:int -> t
+
+val is_torus : t -> bool
+
+val ndims : t -> int
+val size : t -> int
+val dim : t -> int -> int
+
+val rank_of : t -> int array -> int
+val coords_of : t -> int -> int array
+val valid : t -> int array -> bool
+
+val diameter : t -> int
+(** Longest shortest path (Manhattan; halved per dimension on a
+    torus). *)
+
+val pp : Format.formatter -> t -> unit

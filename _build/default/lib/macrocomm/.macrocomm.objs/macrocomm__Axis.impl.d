@@ -1,0 +1,1 @@
+lib/macrocomm/axis.ml: Hermite Kernelutil Linalg List Mat Ratmat Unimodular

@@ -1,0 +1,1 @@
+lib/macrocomm/axis.mli: Linalg Mat

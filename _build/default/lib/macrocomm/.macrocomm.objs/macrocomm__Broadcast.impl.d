@@ -1,0 +1,1 @@
+lib/macrocomm/broadcast.ml: Format Kernelutil Linalg Mat Ratmat

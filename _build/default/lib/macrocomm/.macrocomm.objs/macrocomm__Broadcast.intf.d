@@ -1,0 +1,1 @@
+lib/macrocomm/broadcast.mli: Format Linalg Mat

@@ -1,0 +1,1 @@
+lib/macrocomm/kernelutil.ml: Linalg List Mat Ratmat

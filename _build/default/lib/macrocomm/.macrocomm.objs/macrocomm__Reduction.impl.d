@@ -1,0 +1,1 @@
+lib/macrocomm/reduction.ml: Format Kernelutil Linalg Mat Ratmat

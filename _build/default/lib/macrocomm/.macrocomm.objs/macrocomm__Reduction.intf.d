@@ -1,0 +1,1 @@
+lib/macrocomm/reduction.mli: Format Linalg Mat

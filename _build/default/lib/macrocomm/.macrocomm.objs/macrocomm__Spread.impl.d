@@ -1,0 +1,1 @@
+lib/macrocomm/spread.ml: Format Kernelutil Linalg Mat Ratmat

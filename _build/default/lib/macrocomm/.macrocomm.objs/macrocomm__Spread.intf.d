@@ -1,0 +1,1 @@
+lib/macrocomm/spread.mli: Format Linalg Mat

@@ -1,0 +1,1 @@
+lib/macrocomm/vectorize.ml: Linalg List Mat Ratmat

@@ -1,0 +1,1 @@
+lib/macrocomm/vectorize.mli: Linalg Mat

@@ -1,0 +1,31 @@
+(** Broadcast detection (paper §3.1).
+
+    The same element of [a] is read at the same timestep by several
+    processors iff there is [v] with [theta v = 0] (same timestep),
+    [F_a v = 0] (same element) and [M_S v <> 0] (distinct processors).
+    The communication then regroups into one translation of the item
+    to [M_S I + pi_S] followed by a broadcast along the directions
+    [M_S v_1, ..., M_S v_p]. *)
+
+open Linalg
+
+type classification =
+  | Hidden  (** [p = 0]: the mapping absorbs the broadcast *)
+  | Partial  (** [0 < p < m] *)
+  | Total  (** [p = m] *)
+
+type info = {
+  source_directions : Mat.t;
+      (** basis of [ker theta ∩ ker F_a], one column per direction *)
+  directions : Mat.t;  (** [M_S] applied to the basis ([m x k]) *)
+  p : int;  (** [rank directions] *)
+  classification : classification;
+  axis_aligned : bool;
+      (** the broadcast spans exactly [p] coordinate axes: efficient *)
+}
+
+val detect : theta:Mat.t -> f:Mat.t -> ms:Mat.t -> info option
+(** [None] when [ker theta ∩ ker f] is trivial — no two instances read
+    the same element simultaneously. *)
+
+val pp : Format.formatter -> info -> unit

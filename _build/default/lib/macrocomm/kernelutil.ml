@@ -1,0 +1,27 @@
+(* Shared helpers: kernel intersections and images under allocation
+   matrices.  Internal to the macrocomm library. *)
+
+open Linalg
+
+(* Basis (as an n x k matrix of columns) of the intersection of the
+   kernels of the given matrices, all with n columns. *)
+let kernel_intersection mats =
+  match mats with
+  | [] -> invalid_arg "Kernelutil.kernel_intersection: no matrices"
+  | m0 :: rest ->
+    let stacked = List.fold_left Mat.vcat m0 rest in
+    (match Ratmat.kernel_of_mat stacked with
+    | [] -> None
+    | cols -> Some (List.fold_left Mat.hcat (List.hd cols) (List.tl cols)))
+
+(* Number of non-zero rows of a matrix. *)
+let nonzero_rows m =
+  let count = ref 0 in
+  for i = 0 to Mat.rows m - 1 do
+    let has = ref false in
+    for j = 0 to Mat.cols m - 1 do
+      if Mat.get m i j <> 0 then has := true
+    done;
+    if !has then incr count
+  done;
+  !count

@@ -1,0 +1,15 @@
+open Linalg
+
+type info = { combine_directions : Mat.t; incoming : Mat.t; p : int }
+
+let detect ~theta ~f ~ms ~mb =
+  match Kernelutil.kernel_intersection [ theta; ms ] with
+  | None -> None
+  | Some basis ->
+    let incoming = Mat.mul (Mat.mul mb f) basis in
+    let p = Ratmat.rank_of_mat incoming in
+    if p = 0 then None else Some { combine_directions = basis; incoming; p }
+
+let pp ppf i =
+  Format.fprintf ppf "reduction (fan dimension %d), incoming %a" i.p Mat.pp_flat
+    i.incoming

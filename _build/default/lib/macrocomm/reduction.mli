@@ -1,0 +1,23 @@
+(** Reduction detection (paper §3.4).
+
+    [S(I): s = s op b(F_b I + c_b)] with [op] associative and
+    commutative: a single processor combines, at the same timestep,
+    values held by several other processors.  Conditions on
+    [v = I1 - I2]:
+    - same timestep: [theta v = 0];
+    - same computing processor: [M_S v = 0];
+    - distinct value owners: [M_b F_b v <> 0]. *)
+
+open Linalg
+
+type info = {
+  combine_directions : Mat.t;  (** basis of [ker theta ∩ ker M_S] *)
+  incoming : Mat.t;  (** [M_b F_b] applied to the basis *)
+  p : int;  (** [rank incoming]: dimensionality of the incoming fan *)
+}
+
+val detect : theta:Mat.t -> f:Mat.t -> ms:Mat.t -> mb:Mat.t -> info option
+(** [None] when [ker theta ∩ ker M_S] is trivial or no direction
+    changes the value owner ([p = 0]). *)
+
+val pp : Format.formatter -> info -> unit

@@ -1,0 +1,41 @@
+open Linalg
+
+type classification = Hidden | Partial | Total
+
+type info = {
+  source_directions : Mat.t;
+  directions : Mat.t;
+  p : int;
+  classification : classification;
+  distinct_data : bool;
+  axis_aligned : bool;
+}
+
+let detect ~theta ~f ~ms ~ma =
+  let maf = Mat.mul ma f in
+  match Kernelutil.kernel_intersection [ theta; maf ] with
+  | None -> None
+  | Some basis ->
+    let m = Mat.rows ms in
+    let directions = Mat.mul ms basis in
+    let p = Ratmat.rank_of_mat directions in
+    let classification = if p = 0 then Hidden else if p < m then Partial else Total in
+    let distinct_data = not (Mat.is_zero (Mat.mul f basis)) in
+    let axis_aligned =
+      match classification with
+      | Hidden | Total -> true
+      | Partial -> Kernelutil.nonzero_rows directions = p
+    in
+    Some { source_directions = basis; directions; p; classification; distinct_data; axis_aligned }
+
+let pp ppf i =
+  let k =
+    match i.classification with
+    | Hidden -> "hidden"
+    | Partial -> "partial"
+    | Total -> "total"
+  in
+  Format.fprintf ppf "%s spread (p = %d, %s data%s), directions %a" k i.p
+    (if i.distinct_data then "distinct" else "identical")
+    (if i.axis_aligned then ", axis-aligned" else "")
+    Mat.pp_flat i.directions

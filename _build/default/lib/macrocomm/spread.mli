@@ -1,0 +1,30 @@
+(** Scatter and gather detection (paper §3.2, §3.3).
+
+    A {e scatter} sends different data from one processor to several
+    processors at the same timestep; a {e gather} is the converse.
+    Both share the same kernel conditions — only the direction of the
+    access (read: scatter source is the array owner; write: gather
+    destination is the array owner) distinguishes them:
+    - same timestep: [theta v = 0];
+    - same array-side processor: [M_a F_a v = 0];
+    - distinct statement-side processors: [M_S v <> 0];
+    - distinct elements: [F_a v <> 0] (otherwise it degenerates to a
+      broadcast of a single element). *)
+
+open Linalg
+
+type classification = Hidden | Partial | Total
+
+type info = {
+  source_directions : Mat.t;  (** basis of [ker theta ∩ ker (M_a F_a)] *)
+  directions : Mat.t;  (** [M_S] applied to the basis *)
+  p : int;
+  classification : classification;
+  distinct_data : bool;  (** some direction moves to a different element *)
+  axis_aligned : bool;
+}
+
+val detect : theta:Mat.t -> f:Mat.t -> ms:Mat.t -> ma:Mat.t -> info option
+(** [None] when [ker theta ∩ ker (M_a F_a)] is trivial. *)
+
+val pp : Format.formatter -> info -> unit

@@ -1,0 +1,7 @@
+open Linalg
+
+let vectorizable ~ms ~ma ~f =
+  let maf = Mat.mul ma f in
+  List.for_all
+    (fun v -> Mat.is_zero (Mat.mul maf v))
+    (Ratmat.kernel_of_mat ms)

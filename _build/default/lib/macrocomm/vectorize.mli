@@ -1,0 +1,10 @@
+(** Message vectorization (paper §3.5).
+
+    The data read by processor [p] for computation [S(I)] does not
+    depend on the timestep — so messages can be hoisted out of the
+    (time) loop and regrouped into one large packet — iff
+    [ker M_S ⊆ ker (M_a F_a)]. *)
+
+open Linalg
+
+val vectorizable : ms:Mat.t -> ma:Mat.t -> f:Mat.t -> bool

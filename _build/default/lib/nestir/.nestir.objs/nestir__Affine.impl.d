@@ -1,0 +1,1 @@
+lib/nestir/affine.ml: Array Format Linalg Mat Ratmat String

@@ -1,0 +1,1 @@
+lib/nestir/affine.mli: Format Linalg Mat

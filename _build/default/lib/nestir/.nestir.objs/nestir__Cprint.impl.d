@@ -1,0 +1,1 @@
+lib/nestir/cprint.ml: Affine Array Buffer Linalg List Loopnest Mat Printf String

@@ -1,0 +1,1 @@
+lib/nestir/cprint.mli: Loopnest

@@ -1,0 +1,1 @@
+lib/nestir/dep.ml: Affine Array Domain Format Hashtbl Linalg List Loopnest Mat Matsolve

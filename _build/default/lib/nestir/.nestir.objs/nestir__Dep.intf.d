@@ -1,0 +1,1 @@
+lib/nestir/dep.mli: Affine Domain Format Loopnest

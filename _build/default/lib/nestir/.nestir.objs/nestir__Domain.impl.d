@@ -1,0 +1,1 @@
+lib/nestir/domain.ml: Array Format List String

@@ -1,0 +1,1 @@
+lib/nestir/domain.mli: Format

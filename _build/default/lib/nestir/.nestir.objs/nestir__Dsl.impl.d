@@ -1,0 +1,1 @@
+lib/nestir/dsl.ml: Affine Array Buffer Linalg List Loopnest Mat Printf Schedule String

@@ -1,0 +1,1 @@
+lib/nestir/dsl.mli: Loopnest Schedule

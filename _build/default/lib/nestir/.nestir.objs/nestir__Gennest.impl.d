@@ -1,0 +1,1 @@
+lib/nestir/gennest.ml: Affine Array Linalg List Loopnest Mat Printf Random Unimodular

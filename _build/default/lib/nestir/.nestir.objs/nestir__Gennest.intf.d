@@ -1,0 +1,1 @@
+lib/nestir/gennest.mli: Loopnest

@@ -1,0 +1,1 @@
+lib/nestir/loopnest.ml: Affine Array Format List Printf String

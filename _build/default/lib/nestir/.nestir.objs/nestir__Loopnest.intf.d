@@ -1,0 +1,1 @@
+lib/nestir/loopnest.mli: Affine Format

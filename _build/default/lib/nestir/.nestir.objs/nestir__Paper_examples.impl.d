@@ -1,0 +1,1 @@
+lib/nestir/paper_examples.ml: Affine Linalg Loopnest Mat Printf Schedule

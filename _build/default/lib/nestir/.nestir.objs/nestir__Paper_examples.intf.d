@@ -1,0 +1,1 @@
+lib/nestir/paper_examples.mli: Linalg Loopnest Schedule

@@ -1,0 +1,1 @@
+lib/nestir/schedule.ml: Affine Array Linalg List Loopnest Mat Option Printf Ratmat

@@ -1,0 +1,1 @@
+lib/nestir/schedule.mli: Linalg Loopnest Mat

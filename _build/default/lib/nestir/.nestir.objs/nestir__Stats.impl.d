@@ -1,0 +1,1 @@
+lib/nestir/stats.ml: Affine Format List Loopnest

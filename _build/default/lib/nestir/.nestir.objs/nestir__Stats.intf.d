@@ -1,0 +1,1 @@
+lib/nestir/stats.mli: Format Loopnest

@@ -1,0 +1,65 @@
+open Linalg
+
+let subscript (map : Affine.t) =
+  let vars = Array.init (Affine.dim_in map) (fun j -> Printf.sprintf "i%d" j) in
+  let coord r =
+    let terms = ref [] in
+    Array.iteri
+      (fun j v ->
+        match Mat.get map.Affine.f r j with
+        | 0 -> ()
+        | 1 -> terms := v :: !terms
+        | -1 -> terms := ("-" ^ v) :: !terms
+        | k -> terms := Printf.sprintf "%d*%s" k v :: !terms)
+      vars;
+    let c = map.Affine.c.(r) in
+    if c <> 0 || !terms = [] then terms := string_of_int c :: !terms;
+    String.concat "+" (List.rev !terms)
+  in
+  String.concat ""
+    (List.init (Affine.dim_out map) (fun r -> Printf.sprintf "[%s]" (coord r)))
+
+let to_c (nest : Loopnest.t) =
+  let buf = Buffer.create 512 in
+  let out indent fmt =
+    Printf.ksprintf
+      (fun s -> Buffer.add_string buf (String.make (2 * indent) ' ' ^ s ^ "\n"))
+      fmt
+  in
+  out 0 "/* nest %s */" nest.Loopnest.nest_name;
+  List.iter
+    (fun (a : Loopnest.array_decl) ->
+      out 0 "double %s%s;" a.Loopnest.array_name
+        (String.concat "" (List.init a.Loopnest.dim (fun _ -> "[N]"))))
+    nest.Loopnest.arrays;
+  List.iter
+    (fun (s : Loopnest.stmt) ->
+      Array.iteri
+        (fun d e -> out d "for (int i%d = 0; i%d < %d; i%d++)" d d e d)
+        s.Loopnest.extent;
+      let depth = s.Loopnest.depth in
+      let writes =
+        List.filter (fun (a : Loopnest.access) -> a.Loopnest.kind = Loopnest.Write)
+          s.Loopnest.accesses
+      in
+      let reads =
+        List.filter (fun (a : Loopnest.access) -> a.Loopnest.kind = Loopnest.Read)
+          s.Loopnest.accesses
+      in
+      let rhs =
+        if reads = [] then "0.0"
+        else
+          Printf.sprintf "f_%s(%s)" s.Loopnest.stmt_name
+            (String.concat ", "
+               (List.map
+                  (fun (a : Loopnest.access) ->
+                    a.Loopnest.array_name ^ subscript a.Loopnest.map)
+                  reads))
+      in
+      List.iter
+        (fun (a : Loopnest.access) ->
+          out depth "%s%s = %s;  /* %s */" a.Loopnest.array_name
+            (subscript a.Loopnest.map) rhs s.Loopnest.stmt_name)
+        writes)
+    nest.Loopnest.stmts;
+  Buffer.contents buf

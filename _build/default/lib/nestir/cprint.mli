@@ -1,0 +1,5 @@
+(** Rendering a loop nest as C-like pseudocode — the program a user
+    would recognize, with one loop per iteration dimension and array
+    subscripts spelled out from the affine maps. *)
+
+val to_c : Loopnest.t -> string

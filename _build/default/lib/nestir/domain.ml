@@ -1,0 +1,60 @@
+type t = {
+  extents : int array;
+  half_spaces : (int array * int) list;  (* coeffs . I <= bound *)
+}
+
+let box extents =
+  if Array.length extents = 0 then invalid_arg "Domain.box: empty";
+  Array.iter (fun e -> if e <= 0 then invalid_arg "Domain.box: non-positive extent") extents;
+  { extents = Array.copy extents; half_spaces = [] }
+
+let constrain t ~coeffs ~bound =
+  if Array.length coeffs <> Array.length t.extents then
+    invalid_arg "Domain.constrain: dimension mismatch";
+  { t with half_spaces = (Array.copy coeffs, bound) :: t.half_spaces }
+
+let triangular n =
+  (* 0 <= i <= j < n:  i - j <= 0 *)
+  constrain (box [| n; n |]) ~coeffs:[| 1; -1 |] ~bound:0
+
+let dim t = Array.length t.extents
+
+let dot a b =
+  let acc = ref 0 in
+  Array.iteri (fun k x -> acc := !acc + (x * b.(k))) a;
+  !acc
+
+let mem t p =
+  Array.length p = Array.length t.extents
+  && Array.for_all2 (fun x e -> x >= 0 && x < e) p t.extents
+  && List.for_all (fun (c, b) -> dot c p <= b) t.half_spaces
+
+let iter t f =
+  let n = dim t in
+  let idx = Array.make n 0 in
+  let rec go d =
+    if d = n then (if List.for_all (fun (c, b) -> dot c idx <= b) t.half_spaces then f (Array.copy idx))
+    else
+      for v = 0 to t.extents.(d) - 1 do
+        idx.(d) <- v;
+        go (d + 1)
+      done
+  in
+  go 0
+
+let count t =
+  let c = ref 0 in
+  iter t (fun _ -> incr c);
+  !c
+
+let is_empty t = count t = 0
+
+let pp ppf t =
+  Format.fprintf ppf "box %s"
+    (String.concat "x" (Array.to_list (Array.map string_of_int t.extents)));
+  List.iter
+    (fun (c, b) ->
+      Format.fprintf ppf " /\\ (%s) <= %d"
+        (String.concat " " (Array.to_list (Array.map string_of_int c)))
+        b)
+    t.half_spaces

@@ -1,0 +1,30 @@
+(** Iteration domains beyond rectangles.
+
+    A domain is a box intersected with affine half-spaces
+    [a . I <= b] — enough for the triangular and trapezoidal loops of
+    practice (the paper's Example 1 inner loop runs to [N + M]).
+    Small domains can be enumerated, which gives an {e exact}
+    dependence oracle against which the conservative GCD/Banerjee
+    tests are property-checked. *)
+
+type t
+
+val box : int array -> t
+(** The rectangular domain [0 <= I_k < extent_k]. *)
+
+val constrain : t -> coeffs:int array -> bound:int -> t
+(** Intersect with [coeffs . I <= bound]. *)
+
+val triangular : int -> t
+(** [{(i, j) | 0 <= i <= j < n}]: the classic triangular nest. *)
+
+val dim : t -> int
+val mem : t -> int array -> bool
+
+val iter : t -> (int array -> unit) -> unit
+(** Enumerate all points (scans the bounding box). *)
+
+val count : t -> int
+val is_empty : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+open Linalg
+
+let pick st l = List.nth l (Random.State.int st (List.length l))
+
+(* A random q x d access matrix: mostly full-rank structured shapes
+   (selections, skews, permutations), occasionally rank-deficient. *)
+let random_access_matrix st ~q ~d =
+  let base =
+    match Random.State.int st 5 with
+    | 0 ->
+      (* coordinate selection *)
+      let perm = Array.init d (fun i -> i) in
+      for i = d - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let t = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- t
+      done;
+      Mat.make q d (fun r c -> if c = perm.(r mod d) && r < d then 1 else 0)
+    | 1 ->
+      (* skewed selection *)
+      Mat.make q d (fun r c ->
+          if r = c then 1
+          else if c = (r + 1) mod d && Random.State.bool st then 1
+          else 0)
+    | 2 ->
+      (* small random entries *)
+      Mat.make q d (fun _ _ -> Random.State.int st 3 - 1)
+    | 3 ->
+      (* rank-deficient: repeated row *)
+      let row = Array.init d (fun _ -> Random.State.int st 3 - 1) in
+      Mat.make q d (fun r c -> if r < 2 then row.(c) else if r = c then 1 else 0)
+    | _ ->
+      (* unimodular-ish square part *)
+      let u = Unimodular.random ~dim:(min q d) ~ops:4 st in
+      Mat.make q d (fun r c ->
+          if r < min q d && c < min q d then Mat.get u r c
+          else if r = c then 1
+          else 0)
+  in
+  base
+
+let generate ~seed =
+  let st = Random.State.make [| seed; 0x9e5 |] in
+  let n_arrays = 1 + Random.State.int st 3 in
+  let arrays =
+    List.init n_arrays (fun i ->
+        {
+          Loopnest.array_name = Printf.sprintf "x%d" i;
+          dim = 1 + Random.State.int st 3;
+        })
+  in
+  let n_stmts = 1 + Random.State.int st 3 in
+  let stmts =
+    List.init n_stmts (fun i ->
+        let depth = 2 + Random.State.int st 2 in
+        let extent = Array.init depth (fun _ -> 3 + Random.State.int st 3) in
+        let n_acc = 1 + Random.State.int st 3 in
+        let accesses =
+          List.init n_acc (fun j ->
+              let arr = pick st arrays in
+              let q = arr.Loopnest.dim in
+              let f = random_access_matrix st ~q ~d:depth in
+              let c = Array.init q (fun _ -> Random.State.int st 3 - 1) in
+              Loopnest.access ~array_name:arr.Loopnest.array_name
+                ~label:(Printf.sprintf "A%d_%d" i j)
+                (if j = 0 then Loopnest.Write else Loopnest.Read)
+                (Affine.make f c))
+        in
+        { Loopnest.stmt_name = Printf.sprintf "S%d" i; depth; extent; accesses })
+  in
+  Loopnest.make ~name:(Printf.sprintf "fuzz%d" seed) ~arrays ~stmts
+
+let generate_many ~seed ~count = List.init count (fun i -> generate ~seed:(seed + i))

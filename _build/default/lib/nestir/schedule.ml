@@ -1,0 +1,128 @@
+open Linalg
+
+type t = (string * Mat.t) list
+
+let make l = l
+
+let all_parallel (nest : Loopnest.t) =
+  List.map
+    (fun (s : Loopnest.stmt) -> (s.stmt_name, Mat.zero 1 s.depth))
+    nest.stmts
+
+let outer_sequential (nest : Loopnest.t) =
+  List.map
+    (fun (s : Loopnest.stmt) ->
+      (s.stmt_name, Mat.make 1 s.depth (fun _ j -> if j = 0 then 1 else 0)))
+    nest.stmts
+
+(* lexicographic sign *)
+let rec lex_sign = function
+  | [] -> 0
+  | x :: rest -> if x > 0 then 1 else if x < 0 then -1 else lex_sign rest
+
+let distance_vectors (nest : Loopnest.t) =
+  let accesses = Loopnest.all_accesses nest in
+  let result = ref (Some []) in
+  let add d =
+    match !result with
+    | None -> ()
+    | Some acc ->
+      let dl = Array.to_list d in
+      (match lex_sign dl with
+      | 0 -> () (* same iteration: loop-independent, no constraint *)
+      | 1 -> result := Some (d :: acc)
+      | _ -> result := Some (Array.map (fun x -> -x) d :: acc))
+  in
+  let consider ((s1 : Loopnest.stmt), (a1 : Loopnest.access))
+      ((s2 : Loopnest.stmt), (a2 : Loopnest.access)) =
+    if
+      a1.Loopnest.array_name = a2.Loopnest.array_name
+      && (a1.Loopnest.kind = Loopnest.Write || a2.Loopnest.kind = Loopnest.Write)
+    then begin
+      if s1.Loopnest.depth <> s2.Loopnest.depth then result := None
+      else begin
+        let f1 = a1.Loopnest.map.Affine.f and f2 = a2.Loopnest.map.Affine.f in
+        if not (Linalg.Mat.equal f1 f2) then result := None
+        else begin
+          let c =
+            Array.map2 ( - ) a1.Loopnest.map.Affine.c a2.Loopnest.map.Affine.c
+          in
+          let kernel = Linalg.Ratmat.kernel_of_mat f1 in
+          match (Array.for_all (( = ) 0) c, kernel) with
+          | _, [] -> (
+            (* injective: F d = c has at most one solution *)
+            match Linalg.Matsolve.solve_linear_int f1 c with
+            | Some d -> add d
+            | None -> ())
+          | true, [ g ] ->
+            (* distances are the multiples of the kernel generator:
+               h . g >= 1 on the oriented generator covers them all *)
+            add (Linalg.Mat.col g 0)
+          | _, _ ->
+            (* offset solutions along a kernel, or a kernel of
+               dimension >= 2: no single hyperplane handles these *)
+            result := None
+        end
+      end
+    end
+  in
+  let rec pairs = function
+    | [] -> ()
+    | x :: rest ->
+      List.iter (fun y -> consider x y) rest;
+      pairs rest
+  in
+  pairs accesses;
+  Option.map List.rev !result
+
+let lamport (nest : Loopnest.t) =
+  match distance_vectors nest with
+  | None -> None
+  | Some [] -> Some (all_parallel nest)
+  | Some ds ->
+    let d = (List.hd nest.Loopnest.stmts).Loopnest.depth in
+    if List.exists (fun v -> Array.length v <> d) ds then None
+    else begin
+      (* search small non-negative h with h . dist >= 1 for all *)
+      let best = ref None in
+      let h = Array.make d 0 in
+      let rec go k =
+        if k = d then begin
+          let ok =
+            List.for_all
+              (fun dist ->
+                let acc = ref 0 in
+                Array.iteri (fun i x -> acc := !acc + (x * dist.(i))) h;
+                !acc >= 1)
+              ds
+          in
+          if ok then begin
+            let weight = Array.fold_left ( + ) 0 h in
+            match !best with
+            | Some (w, _) when w <= weight -> ()
+            | _ -> best := Some (weight, Array.copy h)
+          end
+        end
+        else
+          for v = 0 to 3 do
+            h.(k) <- v;
+            go (k + 1)
+          done
+      in
+      go 0;
+      match !best with
+      | None -> None
+      | Some (_, h) ->
+        Some
+          (List.map
+             (fun (s : Loopnest.stmt) ->
+               (s.Loopnest.stmt_name, Linalg.Mat.make 1 s.Loopnest.depth (fun _ j -> h.(j))))
+             nest.Loopnest.stmts)
+    end
+
+let theta t name =
+  match List.assoc_opt name t with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Schedule.theta: unknown statement %s" name)
+
+let kernel t name = Ratmat.kernel_of_mat (theta t name)

@@ -1,0 +1,46 @@
+(** Multidimensional linear schedules (Feautrier-style).
+
+    A statement [S] of depth [d] is scheduled at the (possibly
+    multidimensional) timestep [theta_S . I].  Macro-communication
+    detection intersects [ker theta_S] with access and allocation
+    kernels (paper §3), so the kernel of the schedule is the quantity
+    of interest here.
+
+    The all-parallel schedule (every instance at timestep 0) is
+    represented by a one-row zero matrix, whose kernel is the whole
+    iteration space. *)
+
+open Linalg
+
+type t
+
+val make : (string * Mat.t) list -> t
+(** One schedule matrix per statement name. *)
+
+val all_parallel : Loopnest.t -> t
+(** Every statement scheduled at a single timestep: a DOALL nest. *)
+
+val outer_sequential : Loopnest.t -> t
+(** The outermost loop carries time ([theta = e_1^t]) and the inner
+    loops are parallel — the shape used in the paper's Example 5. *)
+
+val theta : t -> string -> Mat.t
+(** @raise Invalid_argument for an unknown statement. *)
+
+val kernel : t -> string -> Mat.t list
+(** Basis of [ker theta_S]. *)
+
+val lamport : Loopnest.t -> t option
+(** A legal linear schedule for a nest whose dependences are uniform
+    (all conflicting accesses are translations of one another):
+    Lamport's hyperplane method.  Searches for a non-negative integer
+    vector [h] with [h . d >= 1] for every dependence distance [d]
+    (distances oriented lexicographically positive).  [None] when the
+    nest has non-uniform dependences or no hyperplane with small
+    coefficients exists.  Nests without dependences get the
+    all-parallel schedule. *)
+
+val distance_vectors : Loopnest.t -> int array list option
+(** The dependence distance vectors of a uniform nest, oriented
+    lexicographically positive; [None] if some dependence is not
+    uniform (or statements have different depths). *)

@@ -1,0 +1,37 @@
+type t = {
+  statements : int;
+  arrays : int;
+  accesses : int;
+  reads : int;
+  writes : int;
+  max_depth : int;
+  iterations : int;
+  full_rank_accesses : int;
+  translation_accesses : int;
+}
+
+let of_nest (nest : Loopnest.t) =
+  let accesses = Loopnest.all_accesses nest in
+  let count p = List.length (List.filter p accesses) in
+  {
+    statements = List.length nest.Loopnest.stmts;
+    arrays = List.length nest.Loopnest.arrays;
+    accesses = List.length accesses;
+    reads = count (fun (_, a) -> a.Loopnest.kind = Loopnest.Read);
+    writes = count (fun (_, a) -> a.Loopnest.kind = Loopnest.Write);
+    max_depth =
+      List.fold_left (fun acc (s : Loopnest.stmt) -> max acc s.Loopnest.depth) 0
+        nest.Loopnest.stmts;
+    iterations =
+      List.fold_left
+        (fun acc s -> acc + Loopnest.iteration_count s)
+        0 nest.Loopnest.stmts;
+    full_rank_accesses = count (fun (_, a) -> Affine.is_full_rank a.Loopnest.map);
+    translation_accesses = count (fun (_, a) -> Affine.is_translation a.Loopnest.map);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%d statements, %d arrays, %d accesses (%d reads / %d writes, %d full-rank, %d translations), depth <= %d, %d instances"
+    t.statements t.arrays t.accesses t.reads t.writes t.full_rank_accesses
+    t.translation_accesses t.max_depth t.iterations

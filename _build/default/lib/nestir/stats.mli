@@ -1,0 +1,17 @@
+(** Summary statistics of a loop nest — the numbers a compiler log
+    would print before optimizing. *)
+
+type t = {
+  statements : int;
+  arrays : int;
+  accesses : int;
+  reads : int;
+  writes : int;
+  max_depth : int;
+  iterations : int;  (** total statement instances *)
+  full_rank_accesses : int;
+  translation_accesses : int;
+}
+
+val of_nest : Loopnest.t -> t
+val pp : Format.formatter -> t -> unit

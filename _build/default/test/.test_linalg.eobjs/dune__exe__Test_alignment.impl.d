@@ -1,0 +1,1 @@
+test/test_alignment.ml: Access_graph Alcotest Alignment Alignopt Alloc Array Edmonds Linalg List Mat Nestir Printf QCheck QCheck_alcotest Random Ratmat String Unimodular

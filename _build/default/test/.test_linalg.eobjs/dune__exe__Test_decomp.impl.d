@@ -1,0 +1,1 @@
+test/test_decomp.ml: Alcotest Array Decomp Decompose Elementary Gendet Linalg List Mat QCheck QCheck_alcotest Search Similarity Unimodular

@@ -1,0 +1,1 @@
+test/test_distrib.ml: Alcotest Array Distrib Foldsim Format Grouped Layout Linalg List Machine Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Alignment Decomp Distrib Format Linalg List Machine Mat Nestir Printf QCheck QCheck_alcotest Random Resopt String Unimodular

@@ -1,0 +1,1 @@
+test/test_fourier.ml: Alcotest Array Format Fourier Linalg List Nestir Printf QCheck QCheck_alcotest Rat String

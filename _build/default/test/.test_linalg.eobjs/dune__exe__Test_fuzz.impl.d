@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Alignment List Nestir QCheck QCheck_alcotest Resopt

@@ -1,0 +1,1 @@
+test/test_lattice_domain.ml: Alcotest Array Format Lattice Linalg Mat Nestir QCheck QCheck_alcotest

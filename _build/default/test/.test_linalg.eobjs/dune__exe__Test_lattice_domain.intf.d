@@ -1,0 +1,1 @@
+test/test_lattice_domain.mli:

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Hermite Linalg List Mat Matsolve Printf Pseudo QCheck QCheck_alcotest Random Rat Ratmat Smith Unimodular

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Collective Linalg List Machine Message Models Netsim Patterns Printf QCheck QCheck_alcotest Route Topology

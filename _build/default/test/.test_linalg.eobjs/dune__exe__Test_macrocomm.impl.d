@@ -1,0 +1,1 @@
+test/test_macrocomm.ml: Alcotest Array Axis Broadcast Linalg Macrocomm Mat Nestir QCheck QCheck_alcotest Ratmat Reduction Spread Unimodular Vectorize

@@ -1,0 +1,1 @@
+test/test_nestir.ml: Affine Alcotest Array Dep Format Linalg List Loopnest Mat Nestir Paper_examples QCheck QCheck_alcotest Schedule String

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Alignment Commplan Decomp Feautrier Linalg List Macrocomm Nestir Pipeline Platonoff QCheck QCheck_alcotest Resopt Workloads

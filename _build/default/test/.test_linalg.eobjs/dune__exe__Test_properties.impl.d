@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Alignment Float Linalg List Machine Mat Nestir Printf QCheck QCheck_alcotest Resopt

@@ -1,0 +1,1 @@
+test/test_quadform.ml: Alcotest Decomp Format Linalg List Printf QCheck QCheck_alcotest Quadform Similarity

@@ -1,0 +1,1 @@
+test/test_subspace.ml: Alcotest Array Format Linalg List Mat Nestir QCheck QCheck_alcotest Subspace

@@ -1,0 +1,1 @@
+test/test_wave3.ml: Alcotest Alignment Array Decomp Distrib Linalg List Machine Mat Nestir Printf QCheck QCheck_alcotest Ratmat Resopt Result String

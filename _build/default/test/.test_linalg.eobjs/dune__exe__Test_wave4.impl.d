@@ -1,0 +1,1 @@
+test/test_wave4.ml: Alcotest Alignment Array Decomp Linalg List Machine Mat Nestir Option Printf QCheck QCheck_alcotest Resopt

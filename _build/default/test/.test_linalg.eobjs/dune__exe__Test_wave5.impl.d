@@ -1,0 +1,1 @@
+test/test_wave5.ml: Alcotest Linalg List Machine Nestir Option Printf QCheck QCheck_alcotest Resopt

@@ -1,0 +1,1 @@
+test/test_wave6.ml: Alcotest Distrib Format Hashtbl List Machine Nestir Option QCheck QCheck_alcotest Resopt

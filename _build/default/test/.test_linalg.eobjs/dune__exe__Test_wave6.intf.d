@@ -1,0 +1,1 @@
+test/test_wave6.mli:

@@ -1,0 +1,1 @@
+test/test_wave7.ml: Alcotest Decomp Distrib Lattice Linalg List Machine Macrocomm Mat Nestir Option Printf QCheck QCheck_alcotest Rat Resopt String Subspace

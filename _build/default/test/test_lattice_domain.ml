@@ -1,0 +1,174 @@
+(* Tests for the integer-lattice substrate and the polyhedral domains
+   with the exact dependence oracle. *)
+
+open Linalg
+
+let prop ?(count = 200) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+(* ------------------------------------------------------------------ *)
+(* Lattice                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_lattice_basics () =
+  let l = Lattice.of_columns (Mat.of_lists [ [ 2; 0 ]; [ 0; 3 ] ]) in
+  Alcotest.(check int) "rank" 2 (Lattice.rank l);
+  Alcotest.(check int) "index" 6 (Lattice.index l);
+  Alcotest.(check bool) "member" true (Lattice.mem l [| 4; -3 |]);
+  Alcotest.(check bool) "non-member" false (Lattice.mem l [| 1; 0 |]);
+  Alcotest.(check bool) "zero" true (Lattice.mem l [| 0; 0 |])
+
+let test_lattice_standard () =
+  let z2 = Lattice.standard 2 in
+  Alcotest.(check int) "index 1" 1 (Lattice.index z2);
+  Alcotest.(check bool) "everything member" true (Lattice.mem z2 [| -7; 13 |])
+
+let test_lattice_deficient () =
+  let l = Lattice.of_columns (Mat.of_lists [ [ 1 ]; [ 2 ] ]) in
+  Alcotest.(check int) "rank 1" 1 (Lattice.rank l);
+  Alcotest.(check bool) "on line" true (Lattice.mem l [| 3; 6 |]);
+  Alcotest.(check bool) "off line" false (Lattice.mem l [| 3; 5 |]);
+  Alcotest.check_raises "no index" (Invalid_argument "Lattice.index: not full-rank")
+    (fun () -> ignore (Lattice.index l))
+
+let test_lattice_sum_image () =
+  let a = Lattice.of_columns (Mat.of_lists [ [ 2 ]; [ 0 ] ]) in
+  let b = Lattice.of_columns (Mat.of_lists [ [ 0 ]; [ 2 ] ]) in
+  let s = Lattice.sum a b in
+  Alcotest.(check int) "sum index 4" 4 (Lattice.index s);
+  let img = Lattice.image (Mat.of_lists [ [ 1; 1 ] ]) s in
+  (* (2,0) and (0,2) both map to 2: the image is 2Z *)
+  Alcotest.(check bool) "image member" true (Lattice.mem img [| 6 |]);
+  Alcotest.(check bool) "image non-member" false (Lattice.mem img [| 3 |])
+
+let gen_mat22 =
+  QCheck.Gen.(
+    map
+      (fun e -> Mat.make 2 2 (fun i j -> e.(i).(j)))
+      (array_size (return 2) (array_size (return 2) (int_range (-4) 4))))
+
+let arb_mat22 = QCheck.make ~print:Mat.to_string gen_mat22
+
+let lattice_props =
+  [
+    prop "generators are members" arb_mat22 (fun g ->
+        let l = Lattice.of_columns g in
+        Lattice.mem l (Mat.col g 0) && Lattice.mem l (Mat.col g 1));
+    prop "sums of members are members" arb_mat22 (fun g ->
+        let l = Lattice.of_columns g in
+        let v = Array.map2 ( + ) (Mat.col g 0) (Mat.col g 1) in
+        Lattice.mem l v);
+    prop "index = |det| for non-singular generators" arb_mat22 (fun g ->
+        QCheck.assume (Mat.det g <> 0);
+        Lattice.index (Lattice.of_columns g) = abs (Mat.det g));
+    prop "canonical basis generates the same lattice" arb_mat22 (fun g ->
+        let l = Lattice.of_columns g in
+        QCheck.assume (Lattice.rank l > 0);
+        Lattice.equal l (Lattice.of_columns (Lattice.basis l)));
+    prop "unimodular image preserves the index" arb_mat22 (fun g ->
+        QCheck.assume (Mat.det g <> 0);
+        let u = Mat.of_lists [ [ 1; 1 ]; [ 0; 1 ] ] in
+        Lattice.index (Lattice.image u (Lattice.of_columns g))
+        = Lattice.index (Lattice.of_columns g));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Domain                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_domain_box () =
+  let d = Nestir.Domain.box [| 3; 4 |] in
+  Alcotest.(check int) "count" 12 (Nestir.Domain.count d);
+  Alcotest.(check bool) "member" true (Nestir.Domain.mem d [| 2; 3 |]);
+  Alcotest.(check bool) "outside" false (Nestir.Domain.mem d [| 3; 0 |])
+
+let test_domain_triangular () =
+  let d = Nestir.Domain.triangular 4 in
+  (* i <= j < 4: pairs (0,0)..(3,3): 4+3+2+1 = 10 *)
+  Alcotest.(check int) "count" 10 (Nestir.Domain.count d);
+  Alcotest.(check bool) "diag" true (Nestir.Domain.mem d [| 2; 2 |]);
+  Alcotest.(check bool) "below" false (Nestir.Domain.mem d [| 3; 1 |])
+
+let test_domain_empty () =
+  let d =
+    Nestir.Domain.constrain (Nestir.Domain.box [| 4; 4 |]) ~coeffs:[| 1; 1 |]
+      ~bound:(-1)
+  in
+  Alcotest.(check bool) "empty" true (Nestir.Domain.is_empty d)
+
+(* ------------------------------------------------------------------ *)
+(* Exact dependence oracle vs the algebraic tests                      *)
+(* ------------------------------------------------------------------ *)
+
+let gen_access =
+  QCheck.Gen.(
+    let entry = int_range (-2) 2 in
+    map2
+      (fun rows c -> Nestir.Affine.make (Mat.make 1 2 (fun _ j -> rows.(j))) [| c |])
+      (array_size (return 2) entry)
+      (int_range (-3) 3))
+
+let arb_access_pair =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Format.asprintf "%a vs %a" Nestir.Affine.pp a Nestir.Affine.pp b)
+    QCheck.Gen.(pair gen_access gen_access)
+
+let dep_props =
+  [
+    prop ~count:400 "GCD+Banerjee are conservative (no false negatives)"
+      arb_access_pair (fun (a1, a2) ->
+        let d = Nestir.Domain.box [| 5; 5 |] in
+        let exact = Nestir.Dep.exact_test d d a1 a2 in
+        let algebraic =
+          Nestir.Dep.gcd_test a1 a2
+          && Nestir.Dep.banerjee_test ~extent1:[| 5; 5 |] ~extent2:[| 5; 5 |] a1 a2
+        in
+        (* exact dependence implies the conservative tests fire *)
+        (not exact) || algebraic);
+    prop ~count:200 "domain_test agrees with exact_test" arb_access_pair
+      (fun (a1, a2) ->
+        let d = Nestir.Domain.box [| 4; 4 |] in
+        Nestir.Dep.domain_test d d a1 a2 = Nestir.Dep.exact_test d d a1 a2);
+  ]
+
+let test_triangular_refines_banerjee () =
+  (* write a(i - j), read a(1).  On the full box the write reaches
+     a(1) (e.g. i = 2, j = 1).  On the upper triangle (i <= j) the
+     written values are all <= 0, so there is no conflict — a
+     refinement the rectangular Banerjee test cannot see. *)
+  let w = Nestir.Affine.of_lists [ [ 1; -1 ] ] [ 0 ] in
+  let r = Nestir.Affine.of_lists [ [ 0; 0 ] ] [ 1 ] in
+  let box = Nestir.Domain.box [| 4; 4 |] in
+  Alcotest.(check bool) "box oracle sees a conflict" true
+    (Nestir.Dep.exact_test box box w r);
+  Alcotest.(check bool) "rectangular banerjee fires too" true
+    (Nestir.Dep.banerjee_test ~extent1:[| 4; 4 |] ~extent2:[| 4; 4 |] w r);
+  let triangle =
+    Nestir.Domain.constrain (Nestir.Domain.box [| 4; 4 |]) ~coeffs:[| 1; -1 |]
+      ~bound:0
+  in
+  Alcotest.(check bool) "triangular domain refutes it" false
+    (Nestir.Dep.exact_test triangle triangle w r)
+
+let () =
+  Alcotest.run "lattice-domain"
+    [
+      ( "lattice",
+        [
+          Alcotest.test_case "basics" `Quick test_lattice_basics;
+          Alcotest.test_case "standard" `Quick test_lattice_standard;
+          Alcotest.test_case "rank-deficient" `Quick test_lattice_deficient;
+          Alcotest.test_case "sum and image" `Quick test_lattice_sum_image;
+        ]
+        @ lattice_props );
+      ( "domain",
+        [
+          Alcotest.test_case "box" `Quick test_domain_box;
+          Alcotest.test_case "triangular" `Quick test_domain_triangular;
+          Alcotest.test_case "empty" `Quick test_domain_empty;
+          Alcotest.test_case "triangular refines the box test" `Quick
+            test_triangular_refines_banerjee;
+        ]
+        @ dep_props );
+    ]

@@ -1,0 +1,239 @@
+(* Tests for the loop-nest IR: affine maps, nest validation, schedules
+   and the dependence analysis. *)
+
+open Linalg
+open Nestir
+
+let mat = Alcotest.testable Mat.pp Mat.equal
+
+let prop name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:200 arb f)
+
+(* ------------------------------------------------------------------ *)
+(* Affine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_affine_apply () =
+  let a = Affine.of_lists [ [ 1; 1 ]; [ 0; 1 ] ] [ 1; 0 ] in
+  Alcotest.(check (array int)) "apply" [| 4; 2 |] (Affine.apply a [| 1; 2 |]);
+  Alcotest.(check int) "dim_in" 2 (Affine.dim_in a);
+  Alcotest.(check int) "dim_out" 2 (Affine.dim_out a);
+  Alcotest.(check int) "rank" 2 (Affine.rank a)
+
+let test_affine_compose () =
+  let g = Affine.of_lists [ [ 1; 0 ]; [ 0; 2 ] ] [ 1; 1 ] in
+  let h = Affine.of_lists [ [ 0; 1 ]; [ 1; 0 ] ] [ 2; 0 ] in
+  let gh = Affine.compose g h in
+  let i = [| 3; 5 |] in
+  Alcotest.(check (array int)) "compose = apply o apply"
+    (Affine.apply g (Affine.apply h i))
+    (Affine.apply gh i)
+
+let test_affine_translation () =
+  Alcotest.(check bool) "shift is translation" true
+    (Affine.is_translation (Affine.make (Mat.identity 2) [| -1; 3 |]));
+  Alcotest.(check bool) "skew is not" false
+    (Affine.is_translation (Affine.of_lists [ [ 1; 1 ]; [ 0; 1 ] ] [ 0; 0 ]))
+
+let test_affine_kernel () =
+  let a = Affine.of_lists [ [ 1; 2; 0 ]; [ 0; 0; 1 ] ] [ 0; 0 ] in
+  match Affine.kernel a with
+  | [ v ] ->
+    Alcotest.check mat "kernel vector" (Mat.of_col [| 2; -1; 0 |]) v
+  | l -> Alcotest.failf "expected 1 vector, got %d" (List.length l)
+
+let test_affine_bad_constant () =
+  Alcotest.check_raises "mismatched c"
+    (Invalid_argument "Affine.make: constant vector does not match matrix rows")
+    (fun () -> ignore (Affine.make (Mat.identity 2) [| 1 |]))
+
+let affine_props =
+  let gen =
+    QCheck.make
+      ~print:(fun (f, c) -> Mat.to_string f ^ "+" ^ String.concat "," (List.map string_of_int (Array.to_list c)))
+      QCheck.Gen.(
+        int_range 1 3 >>= fun r ->
+        int_range 1 3 >>= fun cdim ->
+        let entry = int_range (-4) 4 in
+        map2
+          (fun rows c -> (Mat.make r cdim (fun i j -> rows.(i).(j)), c))
+          (array_size (return r) (array_size (return cdim) entry))
+          (array_size (return r) entry))
+  in
+  [
+    prop "apply is affine: A(x+y) - A(y) = F x" gen (fun (f, c) ->
+        let a = Affine.make f c in
+        let x = Array.init (Mat.cols f) (fun i -> i + 1) in
+        let y = Array.init (Mat.cols f) (fun i -> 2 * i) in
+        let xy = Array.init (Mat.cols f) (fun i -> x.(i) + y.(i)) in
+        let lhs =
+          Array.init (Mat.rows f) (fun k ->
+              (Affine.apply a xy).(k) - (Affine.apply a y).(k))
+        in
+        lhs = Mat.mul_vec f x);
+    prop "kernel vectors map to the constant" gen (fun (f, c) ->
+        let a = Affine.make f c in
+        List.for_all
+          (fun v ->
+            let vec = Mat.col v 0 in
+            Affine.apply a vec = c)
+          (Affine.kernel a));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Loopnest                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_nest_validation () =
+  let arrays = [ { Loopnest.array_name = "a"; dim = 2 } ] in
+  let bad_stmt =
+    {
+      Loopnest.stmt_name = "S";
+      depth = 2;
+      extent = [| 4; 4 |];
+      accesses =
+        [ Loopnest.access ~array_name:"a" Loopnest.Read (Affine.identity 3) ];
+    }
+  in
+  Alcotest.check_raises "depth mismatch"
+    (Invalid_argument
+       "Loopnest.make: access S/a input dim 3 does not match depth 2") (fun () ->
+      ignore (Loopnest.make ~name:"bad" ~arrays ~stmts:[ bad_stmt ]))
+
+let test_nest_queries () =
+  let nest = Paper_examples.example1 () in
+  Alcotest.(check int) "3 statements" 3 (List.length nest.Loopnest.stmts);
+  Alcotest.(check int) "9 accesses" 9 (List.length (Loopnest.all_accesses nest));
+  Alcotest.(check int) "2 writes to b" 2
+    (List.length (Loopnest.writes_to nest "b") + List.length (Loopnest.writes_to nest "b") - List.length (Loopnest.writes_to nest "b"));
+  Alcotest.(check int) "reads of a" 5 (List.length (Loopnest.reads_of nest "a"));
+  let s2 = Loopnest.find_stmt nest "S2" in
+  Alcotest.(check int) "S2 iteration count" (8 * 8 * 16)
+    (Loopnest.iteration_count s2)
+
+let test_nest_unknown_array () =
+  let nest = Paper_examples.example1 () in
+  Alcotest.check_raises "unknown array"
+    (Invalid_argument "Loopnest.find_array: unknown array zz") (fun () ->
+      ignore (Loopnest.find_array nest "zz"))
+
+(* ------------------------------------------------------------------ *)
+(* Schedule                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_schedule_all_parallel () =
+  let nest = Paper_examples.example1 () in
+  let sched = Schedule.all_parallel nest in
+  (* kernel of the zero schedule is the whole iteration space *)
+  Alcotest.(check int) "S1 kernel dim" 2 (List.length (Schedule.kernel sched "S1"));
+  Alcotest.(check int) "S2 kernel dim" 3 (List.length (Schedule.kernel sched "S2"))
+
+let test_schedule_outer_sequential () =
+  let nest = Paper_examples.example5 () in
+  let sched = Schedule.outer_sequential nest in
+  let th = Schedule.theta sched "S" in
+  Alcotest.check mat "theta = e1^t" (Mat.of_lists [ [ 1; 0; 0; 0 ] ]) th;
+  (* kernel = {t = 0}: 3-dimensional *)
+  Alcotest.(check int) "kernel dim" 3 (List.length (Schedule.kernel sched "S"));
+  Alcotest.check_raises "unknown stmt"
+    (Invalid_argument "Schedule.theta: unknown statement T") (fun () ->
+      ignore (Schedule.theta sched "T"))
+
+(* ------------------------------------------------------------------ *)
+(* Dependence analysis                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_gcd_test () =
+  (* a[2i] vs a[2j+1]: never equal *)
+  let w = Affine.of_lists [ [ 2 ] ] [ 0 ] in
+  let r = Affine.of_lists [ [ 2 ] ] [ 1 ] in
+  Alcotest.(check bool) "parity separation" false (Dep.gcd_test w r);
+  (* a[2i] vs a[2j]: can alias *)
+  Alcotest.(check bool) "same parity" true (Dep.gcd_test w w)
+
+let test_banerjee () =
+  (* a[i] vs a[i+100] inside extent 8: out of range *)
+  let w = Affine.of_lists [ [ 1 ] ] [ 0 ] in
+  let r = Affine.of_lists [ [ 1 ] ] [ 100 ] in
+  Alcotest.(check bool) "gcd passes" true (Dep.gcd_test w r);
+  Alcotest.(check bool) "banerjee rejects" false
+    (Dep.banerjee_test ~extent1:[| 8 |] ~extent2:[| 8 |] w r);
+  Alcotest.(check bool) "banerjee accepts close shift" true
+    (Dep.banerjee_test ~extent1:[| 8 |] ~extent2:[| 8 |] w
+       (Affine.of_lists [ [ 1 ] ] [ 3 ]))
+
+let test_example1_doall () =
+  (* The paper: "There are no data dependences in the nest ... all
+     loops are DOALL loops". *)
+  let nest = Paper_examples.example1 ~n:6 ~m:5 () in
+  let deps = Dep.analyze nest in
+  List.iter (fun d -> Format.printf "%a@." Dep.pp_dep d) deps;
+  Alcotest.(check int) "no dependences" 0 (List.length deps);
+  Alcotest.(check bool) "doall" true (Dep.is_doall nest)
+
+let test_matmul_deps () =
+  (* C is both read and written at the same (i,j) across k: flow, anti
+     and output dependences must all be reported. *)
+  let nest = Paper_examples.matmul ~n:4 () in
+  let deps = Dep.analyze nest in
+  let kinds = List.map (fun d -> d.Dep.kind) deps in
+  Alcotest.(check bool) "has flow" true (List.mem Dep.Flow kinds);
+  Alcotest.(check bool) "has anti" true (List.mem Dep.Anti kinds);
+  Alcotest.(check bool) "has output" true (List.mem Dep.Output kinds);
+  Alcotest.(check bool) "not doall" false (Dep.is_doall nest)
+
+let test_stencil_deps () =
+  (* Reads A, writes B: no dependence at all. *)
+  let nest = Paper_examples.stencil ~n:6 () in
+  Alcotest.(check bool) "stencil doall" true (Dep.is_doall nest)
+
+let test_example5_deps () =
+  let nest = Paper_examples.example5 ~n:4 () in
+  Alcotest.(check bool) "example5 doall (a write injective)" true
+    (Dep.is_doall nest)
+
+let test_reduction_self_dep () =
+  (* s = s + ...: scalar read+write => flow/anti/output on s. *)
+  let nest = Paper_examples.example4_reduction ~n:4 () in
+  let deps = Dep.analyze nest in
+  Alcotest.(check bool) "has deps on s" true
+    (List.exists (fun d -> d.Dep.array_name = "s") deps)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "nestir"
+    [
+      ( "affine",
+        [
+          Alcotest.test_case "apply" `Quick test_affine_apply;
+          Alcotest.test_case "compose" `Quick test_affine_compose;
+          Alcotest.test_case "translation" `Quick test_affine_translation;
+          Alcotest.test_case "kernel" `Quick test_affine_kernel;
+          Alcotest.test_case "bad constant" `Quick test_affine_bad_constant;
+        ]
+        @ affine_props );
+      ( "loopnest",
+        [
+          Alcotest.test_case "validation" `Quick test_nest_validation;
+          Alcotest.test_case "queries" `Quick test_nest_queries;
+          Alcotest.test_case "unknown array" `Quick test_nest_unknown_array;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "all parallel" `Quick test_schedule_all_parallel;
+          Alcotest.test_case "outer sequential" `Quick
+            test_schedule_outer_sequential;
+        ] );
+      ( "dep",
+        [
+          Alcotest.test_case "gcd test" `Quick test_gcd_test;
+          Alcotest.test_case "banerjee bounds" `Quick test_banerjee;
+          Alcotest.test_case "example1 is doall" `Quick test_example1_doall;
+          Alcotest.test_case "matmul dependences" `Quick test_matmul_deps;
+          Alcotest.test_case "stencil doall" `Quick test_stencil_deps;
+          Alcotest.test_case "example5 doall" `Quick test_example5_deps;
+          Alcotest.test_case "reduction self-dependence" `Quick
+            test_reduction_self_dep;
+        ] );
+    ]

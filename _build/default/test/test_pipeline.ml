@@ -1,0 +1,225 @@
+(* End-to-end tests for the two-step heuristic, the baselines and the
+   communication plans (resopt library). *)
+
+open Resopt
+
+let prop ?(count = 100) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let run name =
+  let w = Workloads.find name in
+  Pipeline.run ~schedule:w.Workloads.schedule w.Workloads.nest
+
+(* ------------------------------------------------------------------ *)
+(* Example 1: the paper's walkthrough                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_example1_summary () =
+  let r = run "example1" in
+  let s = Pipeline.summary r in
+  (* paper §2.4 / §3: 6 local communications (4 exact + 2 constant
+     translations), one broadcast for F6 (plus the rank-deficient F9,
+     also a broadcast: the footnote case), and F3 decomposed into two
+     elementary communications *)
+  Alcotest.(check int) "total" 9 s.Commplan.total;
+  Alcotest.(check int) "local + translations" 6
+    (s.Commplan.local + s.Commplan.translations);
+  Alcotest.(check int) "broadcasts" 2 s.Commplan.broadcasts;
+  Alcotest.(check int) "decomposed" 1 s.Commplan.decomposed;
+  Alcotest.(check int) "no general residue" 0 s.Commplan.general
+
+let find_entry r stmt label =
+  List.find
+    (fun e -> e.Commplan.stmt = stmt && e.Commplan.label = label)
+    r.Pipeline.plan
+
+let test_example1_f6_broadcast () =
+  let r = run "example1" in
+  match (find_entry r "S2" "F6").Commplan.classification with
+  | Commplan.Broadcast info ->
+    Alcotest.(check bool) "partial" true
+      (info.Macrocomm.Broadcast.classification = Macrocomm.Broadcast.Partial);
+    Alcotest.(check bool) "axis aligned after rotation" true
+      info.Macrocomm.Broadcast.axis_aligned
+  | c -> Alcotest.failf "F6 classified %s" (Commplan.classification_name c)
+
+let test_example1_f3_decomposed () =
+  let r = run "example1" in
+  match (find_entry r "S1" "F3").Commplan.classification with
+  | Commplan.Decomposed { flow; factors } ->
+    Alcotest.(check int) "two elementary factors" 2 (List.length factors);
+    Alcotest.(check int) "det 1" 1 (Linalg.Mat.det flow)
+  | c -> Alcotest.failf "F3 classified %s" (Commplan.classification_name c)
+
+let test_example1_f9_footnote () =
+  (* the rank-deficient access also becomes a broadcast parallel to an
+     axis after the rotation (paper footnote in §3) *)
+  let r = run "example1" in
+  match (find_entry r "S3" "F9").Commplan.classification with
+  | Commplan.Broadcast info ->
+    Alcotest.(check bool) "axis aligned" true info.Macrocomm.Broadcast.axis_aligned
+  | c -> Alcotest.failf "F9 classified %s" (Commplan.classification_name c)
+
+let test_example1_rotation_applied () =
+  let r = run "example1" in
+  Alcotest.(check bool) "one rotation" true (List.length r.Pipeline.rotations >= 1);
+  Alcotest.(check bool) "alignment still verifies" true
+    (Alignment.Alloc.verify r.Pipeline.alloc)
+
+(* ------------------------------------------------------------------ *)
+(* Example 5: comparison with Platonoff                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_example5_comparison () =
+  let w = Workloads.find "example5" in
+  let ours = Pipeline.run ~schedule:w.Workloads.schedule w.Workloads.nest in
+  let plat = Platonoff.run ~schedule:w.Workloads.schedule w.Workloads.nest in
+  (* §7.2: our strategy computes the nest without any communication,
+     Platonoff's keeps n broadcasts *)
+  Alcotest.(check int) "ours: zero communications" 0 (Pipeline.non_local ours);
+  Alcotest.(check int) "platonoff: one broadcast per timestep" 1
+    (Platonoff.non_local plat);
+  Alcotest.(check (list (pair string string))) "reserved access"
+    [ ("S", "Fb") ] plat.Platonoff.reserved;
+  let s = Platonoff.summary plat in
+  Alcotest.(check int) "it is a broadcast" 1 s.Commplan.broadcasts
+
+let test_platonoff_respects_constraint () =
+  (* the preserved broadcast must not be hidden by the mapping *)
+  let w = Workloads.find "example5" in
+  let plat = Platonoff.run ~schedule:w.Workloads.schedule w.Workloads.nest in
+  let ms =
+    Alignment.Alloc.alloc_of plat.Platonoff.alloc (Alignment.Access_graph.Stmt_v "S")
+  in
+  (* broadcast direction = e4 (the k loop) *)
+  let v = Linalg.Mat.of_col [| 0; 0; 0; 1 |] in
+  Alcotest.(check bool) "M_S e4 <> 0" false (Linalg.Mat.is_zero (Linalg.Mat.mul ms v))
+
+(* ------------------------------------------------------------------ *)
+(* Other workloads                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_matmul_reductions () =
+  let r = run "matmul" in
+  let s = Pipeline.summary r in
+  Alcotest.(check int) "A and B feed reductions" 2 s.Commplan.reductions;
+  Alcotest.(check int) "C stays local" 2 (s.Commplan.local + s.Commplan.translations)
+
+let test_gauss_broadcasts () =
+  let r = run "gauss" in
+  let s = Pipeline.summary r in
+  Alcotest.(check int) "pivot row and column broadcast" 2 s.Commplan.broadcasts
+
+let test_stencil_translations () =
+  let r = run "stencil" in
+  Alcotest.(check int) "everything local or shift" 0 (Pipeline.non_local r);
+  let s = Pipeline.summary r in
+  Alcotest.(check int) "four shifts" 4 s.Commplan.translations
+
+let test_all_workloads_run () =
+  List.iter
+    (fun (w : Workloads.t) ->
+      let r = Pipeline.run ~schedule:w.Workloads.schedule w.Workloads.nest in
+      let s = Pipeline.summary r in
+      Alcotest.(check int)
+        (w.Workloads.name ^ " covers all accesses")
+        (List.length (Nestir.Loopnest.all_accesses w.Workloads.nest))
+        s.Commplan.total;
+      Alcotest.(check bool)
+        (w.Workloads.name ^ " alignment verifies")
+        true
+        (Alignment.Alloc.verify r.Pipeline.alloc))
+    (Workloads.all ())
+
+let test_workloads_lookup () =
+  Alcotest.(check bool) "names non-empty" true (List.length (Workloads.names ()) >= 8);
+  Alcotest.(check string) "find" "matmul" (Workloads.find "matmul").Workloads.name;
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Workloads.find "nope"))
+
+(* ------------------------------------------------------------------ *)
+(* Feautrier ablation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_feautrier_ablation () =
+  let w = Workloads.find "example1" in
+  let ours = Pipeline.run ~schedule:w.Workloads.schedule w.Workloads.nest in
+  let fea = Feautrier.run ~schedule:w.Workloads.schedule w.Workloads.nest in
+  let so = Pipeline.summary ours and sf = Feautrier.summary fea in
+  (* step 1 is shared: same local count *)
+  Alcotest.(check int) "same locals"
+    (so.Commplan.local + so.Commplan.translations)
+    (sf.Commplan.local + sf.Commplan.translations);
+  (* without step 2 every residual is a general communication *)
+  Alcotest.(check int) "residuals downgraded"
+    (so.Commplan.broadcasts + so.Commplan.decomposed)
+    sf.Commplan.general
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let pipeline_props =
+  let arb =
+    QCheck.make
+      ~print:(fun i -> (List.nth (Workloads.all ()) i).Workloads.name)
+      QCheck.Gen.(int_range 0 (List.length (Workloads.all ()) - 1))
+  in
+  [
+    prop ~count:30 "plans are exhaustive and verified" arb (fun i ->
+        let w = List.nth (Workloads.all ()) i in
+        let r = Pipeline.run ~schedule:w.Workloads.schedule w.Workloads.nest in
+        let s = Pipeline.summary r in
+        s.Commplan.total
+        = s.Commplan.local + s.Commplan.reductions + s.Commplan.broadcasts
+          + s.Commplan.scatters + s.Commplan.gathers + s.Commplan.translations
+          + s.Commplan.decomposed + s.Commplan.general
+        && Alignment.Alloc.verify r.Pipeline.alloc);
+    prop ~count:30 "decomposed entries multiply back" arb (fun i ->
+        let w = List.nth (Workloads.all ()) i in
+        let r = Pipeline.run ~schedule:w.Workloads.schedule w.Workloads.nest in
+        List.for_all
+          (fun e ->
+            match e.Commplan.classification with
+            | Commplan.Decomposed { flow; factors } ->
+              Linalg.Mat.equal flow
+                (Decomp.Elementary.product (Linalg.Mat.identity 2 :: factors))
+            | _ -> true)
+          r.Pipeline.plan);
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "example1",
+        [
+          Alcotest.test_case "summary matches the paper" `Quick
+            test_example1_summary;
+          Alcotest.test_case "F6 partial broadcast" `Quick test_example1_f6_broadcast;
+          Alcotest.test_case "F3 two-factor decomposition" `Quick
+            test_example1_f3_decomposed;
+          Alcotest.test_case "F9 footnote broadcast" `Quick test_example1_f9_footnote;
+          Alcotest.test_case "rotation applied" `Quick
+            test_example1_rotation_applied;
+        ] );
+      ( "example5",
+        [
+          Alcotest.test_case "ours 0 vs platonoff broadcasts" `Quick
+            test_example5_comparison;
+          Alcotest.test_case "platonoff keeps the broadcast visible" `Quick
+            test_platonoff_respects_constraint;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "matmul reductions" `Quick test_matmul_reductions;
+          Alcotest.test_case "gauss broadcasts" `Quick test_gauss_broadcasts;
+          Alcotest.test_case "stencil translations" `Quick test_stencil_translations;
+          Alcotest.test_case "all workloads run" `Quick test_all_workloads_run;
+          Alcotest.test_case "lookup" `Quick test_workloads_lookup;
+        ] );
+      ( "feautrier",
+        [ Alcotest.test_case "ablation" `Quick test_feautrier_ablation ] );
+      ("properties", pipeline_props);
+    ]

@@ -1,0 +1,135 @@
+(* Tests for the binary-quadratic-form machinery behind the paper's
+   similarity-class discussion (§4.2.2, Latimer-MacDuffee). *)
+
+open Decomp
+
+let prop ?(count = 200) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let test_class_numbers () =
+  (* published narrow class numbers of real quadratic discriminants *)
+  List.iter
+    (fun (d, h) ->
+      Alcotest.(check int) (Printf.sprintf "h+(%d)" d) h (Quadform.class_number d))
+    [ (5, 1); (8, 1); (12, 2); (13, 1); (17, 1); (21, 2); (24, 2); (40, 2); (60, 4) ]
+
+let test_rejects_bad_discriminants () =
+  Alcotest.check_raises "square"
+    (Invalid_argument "Quadform: discriminant must not be a square") (fun () ->
+      ignore (Quadform.class_number 16));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Quadform: discriminant must be positive") (fun () ->
+      ignore (Quadform.class_number (-4)));
+  Alcotest.check_raises "2 mod 4"
+    (Invalid_argument "Quadform: discriminant must be 0 or 1 mod 4") (fun () ->
+      ignore (Quadform.class_number 6))
+
+let test_of_matrix_discriminant () =
+  (* the fixed form of T has discriminant tr^2 - 4 det = tr^2 - 4 *)
+  let t = Linalg.Mat.of_lists [ [ 1; 2 ]; [ 3; 7 ] ] in
+  let f = Quadform.of_matrix t in
+  Alcotest.(check int) "disc = tr^2 - 4" ((8 * 8) - 4) (Quadform.discriminant f)
+
+let test_reduce_cycle () =
+  let f = { Quadform.a = 3; b = 14; c = -5 } in
+  (* disc = 196 + 60 = 256 = 16^2: square! pick another *)
+  ignore f;
+  let f = { Quadform.a = 2; b = 5; c = -2 } in
+  (* disc = 25 + 16 = 41 *)
+  let r = Quadform.reduce f in
+  Alcotest.(check bool) "reduced" true (Quadform.is_reduced r);
+  Alcotest.(check int) "disc preserved" 41 (Quadform.discriminant r);
+  let cyc = Quadform.cycle f in
+  Alcotest.(check bool) "cycle non-empty" true (List.length cyc >= 1);
+  List.iter
+    (fun g -> Alcotest.(check bool) "cycle members reduced" true (Quadform.is_reduced g))
+    cyc;
+  Alcotest.(check bool) "equivalent to itself" true (Quadform.equivalent f f)
+
+let gen_form_disc41 =
+  (* random forms of discriminant 41: (a, b, c) with b odd, b^2 - 4ac = 41 *)
+  QCheck.Gen.(
+    map2
+      (fun a k ->
+        let b = (2 * k) + 1 in
+        (* choose c so that the discriminant is 41 when divisible *)
+        let num = (b * b) - 41 in
+        if a <> 0 && num mod (4 * a) = 0 then Some { Quadform.a; b; c = num / (4 * a) }
+        else None)
+      (int_range (-6) 6) (int_range 0 6))
+
+let arb_form41 =
+  QCheck.make
+    ~print:(function
+      | Some f -> Format.asprintf "%a" Quadform.pp f
+      | None -> "<skip>")
+    gen_form_disc41
+
+let quadform_props =
+  [
+    prop "rho preserves the discriminant" arb_form41 (fun f ->
+        match f with
+        | None -> true
+        | Some f ->
+          Quadform.discriminant (Quadform.rho f) = Quadform.discriminant f);
+    prop "reduce lands on a reduced equivalent form" arb_form41 (fun f ->
+        match f with
+        | None -> true
+        | Some f ->
+          let r = Quadform.reduce f in
+          Quadform.is_reduced r && Quadform.equivalent f r);
+    prop "cycles are closed under rho" arb_form41 (fun f ->
+        match f with
+        | None -> true
+        | Some f ->
+          let cyc = Quadform.cycle f in
+          List.for_all (fun g -> List.mem (Quadform.rho g) cyc) cyc);
+  ]
+
+let test_latimer_macduffee_trace3 () =
+  (* trace 3: discriminant 5, one class: every det-1 matrix with that
+     trace is similar to an L U product *)
+  Alcotest.(check int) "h+(5) = 1" 1 (Quadform.class_number 5);
+  for a = -5 to 5 do
+    for b = -5 to 5 do
+      for c = -5 to 5 do
+        let d = 3 - a in
+        if (a * d) - (b * c) = 1 then begin
+          let t = Linalg.Mat.of_lists [ [ a; b ]; [ c; d ] ] in
+          if Similarity.search ~bound:4 t = None then
+            Alcotest.failf "trace-3 matrix not similar to LU: a=%d b=%d c=%d" a b c
+        end
+      done
+    done
+  done
+
+let test_fixed_forms_of_similar_matrices () =
+  (* conjugation preserves the equivalence class of the fixed form *)
+  let t = Linalg.Mat.of_lists [ [ 2; 1 ]; [ 1; 1 ] ] in
+  (* trace 3, disc 5 *)
+  let u = Linalg.Mat.of_lists [ [ 1; 1 ]; [ 0; 1 ] ] in
+  let t' = Linalg.Mat.mul (Linalg.Mat.mul u t) (Linalg.Unimodular.inverse u) in
+  let f = Quadform.of_matrix t and f' = Quadform.of_matrix t' in
+  Alcotest.(check bool) "equivalent fixed forms" true (Quadform.equivalent f f')
+
+let () =
+  Alcotest.run "quadform"
+    [
+      ( "classical",
+        [
+          Alcotest.test_case "class numbers" `Quick test_class_numbers;
+          Alcotest.test_case "bad discriminants" `Quick
+            test_rejects_bad_discriminants;
+          Alcotest.test_case "fixed form discriminant" `Quick
+            test_of_matrix_discriminant;
+          Alcotest.test_case "reduce and cycle" `Quick test_reduce_cycle;
+        ]
+        @ quadform_props );
+      ( "latimer-macduffee",
+        [
+          Alcotest.test_case "trace 3: single class, all LU-similar" `Quick
+            test_latimer_macduffee_trace3;
+          Alcotest.test_case "similar matrices, equivalent forms" `Quick
+            test_fixed_forms_of_similar_matrices;
+        ] );
+    ]

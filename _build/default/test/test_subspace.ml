@@ -1,0 +1,132 @@
+(* Tests for the rational subspace algebra. *)
+
+open Linalg
+
+let prop ?(count = 250) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb f)
+
+let col l = Mat.of_col (Array.of_list l)
+
+let gen_space =
+  QCheck.Gen.(
+    int_range 2 4 >>= fun n ->
+    int_range 0 3 >>= fun k ->
+    let vec = array_size (return n) (int_range (-3) 3) in
+    map
+      (fun vs ->
+        Subspace.of_columns ~n
+          (List.filter_map
+             (fun v -> if Array.for_all (( = ) 0) v then None else Some (Mat.of_col v))
+             vs))
+      (list_size (return k) vec))
+
+let arb_space = QCheck.make ~print:(Format.asprintf "%a" Subspace.pp) gen_space
+
+let arb_space_pair =
+  (* two spaces in the same ambient dimension *)
+  QCheck.make
+    ~print:(fun (a, b) -> Format.asprintf "%a / %a" Subspace.pp a Subspace.pp b)
+    QCheck.Gen.(
+      int_range 2 4 >>= fun n ->
+      let vec = array_size (return n) (int_range (-3) 3) in
+      let space =
+        map
+          (fun vs ->
+            Subspace.of_columns ~n
+              (List.filter_map
+                 (fun v ->
+                   if Array.for_all (( = ) 0) v then None else Some (Mat.of_col v))
+                 vs))
+          (list_size (int_range 0 3) vec)
+      in
+      pair space space)
+
+let test_basics () =
+  let s = Subspace.of_columns ~n:3 [ col [ 1; 0; 0 ]; col [ 0; 1; 0 ]; col [ 1; 1; 0 ] ] in
+  Alcotest.(check int) "dim 2" 2 (Subspace.dim s);
+  Alcotest.(check bool) "mem" true (Subspace.mem s (col [ 3; -2; 0 ]));
+  Alcotest.(check bool) "not mem" false (Subspace.mem s (col [ 0; 0; 1 ]));
+  Alcotest.(check bool) "zero mem" true (Subspace.mem s (col [ 0; 0; 0 ]));
+  Alcotest.(check int) "full" 3 (Subspace.dim (Subspace.full 3));
+  Alcotest.(check int) "zero" 0 (Subspace.dim (Subspace.zero 3))
+
+let test_kernel () =
+  let f = Mat.of_lists [ [ 1; 2; 0 ]; [ 0; 0; 1 ] ] in
+  let k = Subspace.kernel f in
+  Alcotest.(check int) "dim 1" 1 (Subspace.dim k);
+  Alcotest.(check bool) "generator" true (Subspace.mem k (col [ 2; -1; 0 ]))
+
+let test_intersect () =
+  let a = Subspace.of_columns ~n:3 [ col [ 1; 0; 0 ]; col [ 0; 1; 0 ] ] in
+  let b = Subspace.of_columns ~n:3 [ col [ 0; 1; 0 ]; col [ 0; 0; 1 ] ] in
+  let i = Subspace.intersect a b in
+  Alcotest.(check int) "dim 1" 1 (Subspace.dim i);
+  Alcotest.(check bool) "e2" true (Subspace.mem i (col [ 0; 5; 0 ]))
+
+let test_image () =
+  let s = Subspace.kernel (Mat.of_lists [ [ 1; 0; 0 ] ]) in
+  (* s = span{e2, e3}; image under a projection to the first two coords *)
+  let m = Mat.of_lists [ [ 1; 0; 0 ]; [ 0; 1; 0 ] ] in
+  let im = Subspace.image m s in
+  Alcotest.(check int) "dim 1" 1 (Subspace.dim im);
+  Alcotest.(check bool) "e2 of Q^2" true (Subspace.mem im (col [ 0; 1 ]))
+
+let props =
+  [
+    prop "dim <= ambient" arb_space (fun s ->
+        Subspace.dim s <= Subspace.ambient_dim s);
+    prop "basis vectors are members" arb_space (fun s ->
+        List.for_all (Subspace.mem s) (Subspace.basis s));
+    prop "sum contains both" arb_space_pair (fun (a, b) ->
+        let s = Subspace.sum a b in
+        Subspace.subset a s && Subspace.subset b s);
+    prop "intersection inside both" arb_space_pair (fun (a, b) ->
+        let i = Subspace.intersect a b in
+        Subspace.subset i a && Subspace.subset i b);
+    prop "dimension formula" arb_space_pair (fun (a, b) ->
+        Subspace.dim (Subspace.sum a b) + Subspace.dim (Subspace.intersect a b)
+        = Subspace.dim a + Subspace.dim b);
+    prop "intersect commutative" arb_space_pair (fun (a, b) ->
+        Subspace.equal (Subspace.intersect a b) (Subspace.intersect b a));
+    prop "kernel members annihilate" arb_space (fun s ->
+        (* build a matrix from the basis and check kernel membership *)
+        match Subspace.basis s with
+        | [] -> true
+        | cols ->
+          let m = List.fold_left Mat.hcat (List.hd cols) (List.tl cols) in
+          let k = Subspace.kernel (Mat.transpose m) in
+          List.for_all
+            (fun v -> Mat.is_zero (Mat.mul (Mat.transpose m) v))
+            (Subspace.basis k));
+    prop "image dim bounded" arb_space (fun s ->
+        let m = Mat.of_lists [ List.init (Subspace.ambient_dim s) (fun i -> i + 1) ] in
+        Subspace.dim (Subspace.image m s) <= min 1 (Subspace.dim s));
+  ]
+
+(* the paper's broadcast condition via subspaces: ker(theta) ∩ ker(F6)
+   escapes ker(M_S2) in Example 1 *)
+let test_paper_broadcast_condition () =
+  let f6 = Nestir.Paper_examples.example1_f 6 in
+  let theta = Mat.zero 1 3 in
+  let ms2 = Mat.of_lists [ [ 1; 1; 0 ]; [ 0; 1; 0 ] ] in
+  let shared = Subspace.intersect (Subspace.kernel theta) (Subspace.kernel f6) in
+  Alcotest.(check int) "one shared direction" 1 (Subspace.dim shared);
+  Alcotest.(check bool) "escapes ker M_S2" false
+    (Subspace.subset shared (Subspace.kernel ms2));
+  Alcotest.(check int) "broadcast dimension p = 1" 1
+    (Subspace.dim (Subspace.image ms2 shared))
+
+let () =
+  Alcotest.run "subspace"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "kernel" `Quick test_kernel;
+          Alcotest.test_case "intersection" `Quick test_intersect;
+          Alcotest.test_case "image" `Quick test_image;
+          Alcotest.test_case "paper broadcast condition" `Quick
+            test_paper_broadcast_condition;
+        ] );
+      ("properties", props);
+    ]
