@@ -590,8 +590,13 @@ let experiments =
     ("bechamel", bechamel);
   ]
 
+(* Every bench run records spans and counters and leaves a diffable
+   BENCH_obs.json snapshot next to the printed tables, so the perf
+   trajectory of the analyses can be compared across commits. *)
 let () =
-  match Array.to_list Sys.argv with
+  Obs.set_clock Unix.gettimeofday;
+  Obs.enable ();
+  (match Array.to_list Sys.argv with
   | _ :: [] -> List.iter (fun (_, f) -> f ()) experiments
   | _ :: names ->
     List.iter
@@ -604,4 +609,6 @@ let () =
                (List.map (fun (n, _) -> " " ^ n) experiments));
           exit 1)
       names
-  | [] -> assert false
+  | [] -> assert false);
+  Obs.write_file "BENCH_obs.json" (Obs.metrics_json ());
+  Format.eprintf "metrics snapshot written to BENCH_obs.json@."

@@ -9,6 +9,50 @@
 
 open Cmdliner
 
+(* --trace FILE / --stats: shared observability flags.  Each command
+   that supports them composes [obs_term] and wraps its body in
+   [with_obs]; with neither flag given, instrumentation stays disabled
+   and output is byte-identical to an uninstrumented build. *)
+
+let obs_term =
+  let trace_arg =
+    let doc =
+      "Record spans and counters and write them to $(docv) as Chrome \
+       trace-event JSON (open in chrome://tracing or Perfetto)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let stats_arg =
+    let doc = "Print the recorded span / counter summary after the output." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  Term.(const (fun trace stats -> (trace, stats)) $ trace_arg $ stats_arg)
+
+let with_obs (trace, stats) f =
+  if trace = None && not stats then f ()
+  else begin
+    Obs.set_clock Unix.gettimeofday;
+    Obs.enable ();
+    let write_failed = ref false in
+    let finally () =
+      (match trace with
+      | Some file -> (
+        try
+          Obs.write_file file (Obs.chrome_trace ());
+          Format.eprintf "trace written to %s@." file
+        with Sys_error msg ->
+          Format.eprintf "cannot write trace: %s@." msg;
+          write_failed := true)
+      | None -> ());
+      if stats then Format.printf "%a" Obs.pp_summary ()
+    in
+    (* protect: the (possibly partial) trace is still written when the
+       optimizer itself fails *)
+    let v = Fun.protect ~finally f in
+    if !write_failed then exit 1;
+    v
+  end
+
 let list_cmd =
   let doc = "List the available workloads." in
   let run () =
@@ -41,8 +85,9 @@ let run_cmd =
     let doc = "Baseline to run instead: $(b,platonoff) or $(b,feautrier)." in
     Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"NAME" ~doc)
   in
-  let run name m baseline =
+  let run name m baseline obs =
     let w = find_workload name in
+    with_obs obs @@ fun () ->
     match baseline with
     | None ->
       let r = Resopt.Pipeline.run ~m ~schedule:w.Resopt.Workloads.schedule w.Resopt.Workloads.nest in
@@ -65,16 +110,18 @@ let run_cmd =
       Format.eprintf "unknown baseline %s@." other;
       exit 1
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ workload_arg $ m_arg $ baseline_arg)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ workload_arg $ m_arg $ baseline_arg $ obs_term)
 
 let graph_cmd =
   let doc = "Print the access graph of a workload." in
-  let run name m =
+  let run name m obs =
     let w = find_workload name in
+    with_obs obs @@ fun () ->
     let g = Alignment.Access_graph.build ~m w.Resopt.Workloads.nest in
     Format.printf "%a@." Alignment.Access_graph.pp g
   in
-  Cmd.v (Cmd.info "graph" ~doc) Term.(const run $ workload_arg $ m_arg)
+  Cmd.v (Cmd.info "graph" ~doc) Term.(const run $ workload_arg $ m_arg $ obs_term)
 
 let codegen_cmd =
   let doc = "Emit the mapping of a workload as HPF-style directives." in
@@ -225,7 +272,7 @@ let simulate_cmd =
     let doc = "Distribution: $(b,grouped), $(b,block), $(b,cyclic) or $(b,cyclicb)." in
     Arg.(value & opt string "grouped" & info [ "layout" ] ~docv:"SCHEME" ~doc)
   in
-  let run k layout =
+  let run k layout obs =
     let scheme =
       match layout with
       | "grouped" -> Distrib.Layout.Grouped (max 1 k)
@@ -236,9 +283,12 @@ let simulate_cmd =
         Format.eprintf "unknown layout %s@." other;
         exit 1
     in
+    with_obs obs @@ fun () ->
     let par = Machine.Models.paragon ~p:16 ~q:4 () in
     let uk = Linalg.Mat.of_lists [ [ 1; k ]; [ 0; 1 ] ] in
     let stats =
+      Obs.with_span "simulate" ~args:[ ("k", string_of_int k); ("layout", layout) ]
+      @@ fun () ->
       Distrib.Foldsim.time par
         ~layout:[| scheme; Distrib.Layout.Block |]
         ~vgrid:[| 840; 8 |] ~flow:uk ()
@@ -246,7 +296,7 @@ let simulate_cmd =
     Format.printf "U_%d under %a x BLOCK on 16x4 mesh: %a@." k
       Distrib.Layout.pp_scheme scheme Machine.Netsim.pp_stats stats
   in
-  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ k_arg $ layout_arg)
+  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ k_arg $ layout_arg $ obs_term)
 
 let () =
   let doc = "Optimize residual communications of affine loop nests (Dion, Randriamaro, Robert 1996)." in

@@ -37,6 +37,9 @@ let left_inverse_weight f =
   | None -> Pseudo.left_inverse f
 
 let build ?(weighting = `Rank) ~m (nest : Loopnest.t) =
+  Obs.with_span "alloc.access_graph"
+    ~args:[ ("nest", nest.Loopnest.nest_name); ("m", string_of_int m) ]
+  @@ fun () ->
   let vertices =
     Array.of_list
       (List.map (fun (a : Loopnest.array_decl) -> Array_v a.Loopnest.array_name)
@@ -88,6 +91,8 @@ let build ?(weighting = `Rank) ~m (nest : Loopnest.t) =
         end
       end)
     (Loopnest.all_accesses nest);
+  Obs.incr ~by:(List.length !edges) "access_graph.edges";
+  Obs.incr ~by:(List.length !excluded) "access_graph.excluded";
   { m; vertices; edges = List.rev !edges; excluded = List.rev !excluded }
 
 let vertex_index t v =

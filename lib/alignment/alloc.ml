@@ -137,10 +137,14 @@ let constrained_row_space ~k (constraints : Ratmat.t list) =
 
 let run ?(vertex_constraint = fun _ _ -> true) ?weighting ~m (nest : Loopnest.t) =
   let graph = Access_graph.build ?weighting ~m nest in
-  let eedges, lookup = Access_graph.to_edmonds graph in
+  let branching =
+    Obs.with_span "alloc.branching" @@ fun () ->
+    let eedges, lookup = Access_graph.to_edmonds graph in
+    let n = Array.length graph.Access_graph.vertices in
+    let selected = Edmonds.maximum_branching ~n eedges in
+    List.map (fun (e : Edmonds.edge) -> lookup e.Edmonds.id) selected
+  in
   let n = Array.length graph.Access_graph.vertices in
-  let selected = Edmonds.maximum_branching ~n eedges in
-  let branching = List.map (fun (e : Edmonds.edge) -> lookup e.Edmonds.id) selected in
   let forest = build_forest graph nest branching in
   let key (e : Access_graph.edge) = (e.Access_graph.stmt_name, e.Access_graph.label) in
   let local = ref (List.sort_uniq compare (List.map key branching)) in
@@ -174,6 +178,7 @@ let run ?(vertex_constraint = fun _ _ -> true) ?weighting ~m (nest : Loopnest.t)
   let all_keys =
     List.sort_uniq compare (List.map key graph.Access_graph.edges)
   in
+  ( Obs.with_span "alloc.readditions" @@ fun () ->
   List.iter
     (fun (stmt, label) ->
       if not (List.mem (stmt, label) !local) then begin
@@ -272,8 +277,9 @@ let run ?(vertex_constraint = fun _ _ -> true) ?weighting ~m (nest : Loopnest.t)
         if List.exists try_edge orientations then
           local := (stmt, label) :: !local
       end)
-    all_keys;
+    all_keys );
   (* Materialize every component. *)
+  Obs.with_span "alloc.materialize" @@ fun () ->
   let roots =
     List.sort_uniq compare
       (List.map (fun v -> forest_root graph forest v) (List.init n (fun i -> i)))
@@ -337,6 +343,8 @@ let run ?(vertex_constraint = fun _ _ -> true) ?weighting ~m (nest : Loopnest.t)
   let residual =
     List.filter (fun key -> not (List.mem key !local)) all_keys_set
   in
+  Obs.incr ~by:(List.length !local) "edges_localized";
+  Obs.incr ~by:(List.length residual) "alloc.residual";
   {
     graph;
     nest;

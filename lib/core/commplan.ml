@@ -55,15 +55,21 @@ let flow_matrix ~ms ~mx ~f =
       Ratmat.to_mat t
 
 let classify_decomposable flow =
+  Obs.with_span "pipeline.decompose" @@ fun () ->
+  let decomposed factors =
+    Obs.incr "decomp.flows";
+    Obs.observe "decomp_length" (float_of_int (List.length factors));
+    Decomposed { flow; factors }
+  in
   if Mat.rows flow = 2 && Mat.det flow = 1 then
     match Decomp.Decompose.min_factors flow with
-    | Some factors -> Decomposed { flow; factors }
-    | None -> Decomposed { flow; factors = Decomp.Decompose.euclid flow }
+    | Some factors -> decomposed factors
+    | None -> decomposed (Decomp.Decompose.euclid flow)
   else if Mat.det flow = 1 then
     (* higher-dimensional grids (e.g. the T3D): transvections *)
-    Decomposed { flow; factors = Decomp.Decompose_nd.decompose flow }
+    decomposed (Decomp.Decompose_nd.decompose flow)
   else if Mat.det flow <> 0 then
-    Decomposed { flow; factors = Decomp.Gendet.decompose flow }
+    decomposed (Decomp.Gendet.decompose flow)
   else General (Some flow)
 
 let classify al sched (s : Loopnest.stmt) (a : Loopnest.access) =

@@ -37,14 +37,20 @@ let misaligned_direction alloc (entry : Commplan.entry) =
     | _ -> None)
 
 let run ?(m = 2) ?schedule ?(axis_align = true) nest =
+  Obs.with_span "pipeline.run"
+    ~args:[ ("nest", nest.Loopnest.nest_name); ("m", string_of_int m) ]
+  @@ fun () ->
   let schedule =
     match schedule with Some s -> s | None -> Schedule.all_parallel nest
   in
-  let alloc = ref (Alignment.Alloc.run ~m nest) in
+  let alloc = ref (Obs.with_span "pipeline.alloc" (fun () -> Alignment.Alloc.run ~m nest)) in
   let rotations = ref [] in
-  let plan = ref (Commplan.build !alloc schedule) in
+  let plan =
+    ref (Obs.with_span "pipeline.classify" (fun () -> Commplan.build !alloc schedule))
+  in
   (* Greedy axis alignment: rotate one component at a time and
      re-classify, at most once per entry. *)
+  ( Obs.with_span "pipeline.rotate" @@ fun () ->
   let budget = ref (List.length !plan) in
   let continue = ref axis_align in
   while !continue && !budget > 0 do
@@ -54,8 +60,9 @@ let run ?(m = 2) ?schedule ?(axis_align = true) nest =
     | Some (comp, v) ->
       alloc := Alignment.Alloc.apply_unimodular !alloc ~component:comp v;
       rotations := (comp, v) :: !rotations;
+      Obs.incr "rotations_applied";
       plan := Commplan.build !alloc schedule
-  done;
+  done );
   {
     nest;
     m;

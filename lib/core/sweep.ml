@@ -6,6 +6,7 @@ type row = {
   baseline : float;
   non_local : int;
   validated : bool;
+  time_ms : float;
 }
 
 let run ?(ms = [ 2 ]) ?models ?workloads () =
@@ -20,33 +21,55 @@ let run ?(ms = [ 2 ]) ?models ?workloads () =
       List.concat_map
         (fun m ->
           match
-            ( Pipeline.run ~m ~schedule:w.Workloads.schedule w.Workloads.nest,
-              Feautrier.run ~m ~schedule:w.Workloads.schedule w.Workloads.nest )
+            Obs.time_ms (fun () ->
+                ( Pipeline.run ~m ~schedule:w.Workloads.schedule w.Workloads.nest,
+                  Feautrier.run ~m ~schedule:w.Workloads.schedule w.Workloads.nest ))
           with
-          | exception _ -> []
-          | opt, base ->
+          | exception _ ->
+            Obs.incr "sweep.skipped";
+            []
+          | (opt, base), elapsed_ms ->
             List.map
               (fun model ->
-                {
-                  workload = w.Workloads.name;
-                  m;
-                  model = model.Machine.Models.name;
-                  optimized = (Cost.of_plan model opt.Pipeline.plan).Cost.total;
-                  baseline = (Cost.of_plan model base.Feautrier.plan).Cost.total;
-                  non_local = Pipeline.non_local opt;
-                  validated = Validate.is_valid opt;
-                })
+                Obs.with_span "sweep.cell"
+                  ~args:
+                    [
+                      ("workload", w.Workloads.name);
+                      ("m", string_of_int m);
+                      ("model", model.Machine.Models.name);
+                    ]
+                @@ fun () ->
+                let row =
+                  {
+                    workload = w.Workloads.name;
+                    m;
+                    model = model.Machine.Models.name;
+                    optimized = (Cost.of_plan model opt.Pipeline.plan).Cost.total;
+                    baseline = (Cost.of_plan model base.Feautrier.plan).Cost.total;
+                    non_local = Pipeline.non_local opt;
+                    validated = Validate.is_valid opt;
+                    time_ms = elapsed_ms;
+                  }
+                in
+                (* counter snapshot of the cell, for `--stats` and the
+                   bench metrics dump *)
+                Obs.incr "sweep.cells";
+                Obs.incr ~by:row.non_local "sweep.non_local";
+                Obs.observe "sweep.gain"
+                  (if row.optimized > 0.0 then row.baseline /. row.optimized else 0.0);
+                Obs.observe "sweep.time_ms" elapsed_ms;
+                row)
               models)
         ms)
     workloads
 
 let pp_table ppf rows =
-  Format.fprintf ppf "%-12s %2s %-8s %12s %12s %8s %6s@." "workload" "m" "model"
-    "optimized" "baseline" "gain" "valid";
+  Format.fprintf ppf "%-12s %2s %-8s %12s %12s %8s %6s %9s@." "workload" "m" "model"
+    "optimized" "baseline" "gain" "valid" "time ms";
   List.iter
     (fun r ->
-      Format.fprintf ppf "%-12s %2d %-8s %12.1f %12.1f %7.2fx %6b@." r.workload r.m
-        r.model r.optimized r.baseline
+      Format.fprintf ppf "%-12s %2d %-8s %12.1f %12.1f %7.2fx %6b %9.2f@." r.workload
+        r.m r.model r.optimized r.baseline
         (if r.optimized > 0.0 then r.baseline /. r.optimized else Float.infinity)
-        r.validated)
+        r.validated r.time_ms)
     rows

@@ -14,6 +14,10 @@ type row = {
   baseline : float;
   non_local : int;
   validated : bool;
+  time_ms : float;
+      (** wall time of the optimizer + baseline runs for this
+          (workload, m), via {!Obs.time_ms} — a coarse perf-regression
+          signal that rides along in every sweep table *)
 }
 
 val run :
@@ -24,6 +28,11 @@ val run :
   row list
 (** Defaults: [ms = [2]], all three machine models, all workloads.
     Workload/dimension combinations the alignment cannot materialize
-    are skipped. *)
+    are skipped.
+
+    When {!Obs.enabled}, every cell is wrapped in a [sweep.cell] span
+    tagged with (workload, m, model) and feeds the [sweep.cells] /
+    [sweep.non_local] counters and [sweep.gain] / [sweep.time_ms]
+    histograms. *)
 
 val pp_table : Format.formatter -> row list -> unit

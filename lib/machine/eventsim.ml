@@ -12,6 +12,22 @@ type result = {
   total_link_busy : int;
 }
 
+type sample = {
+  cycle : int;
+  in_flight : int;
+  busy_links : int;
+  max_queue_now : int;
+}
+
+let record_result r =
+  if Obs.enabled () then begin
+    Obs.incr "eventsim.runs";
+    Obs.observe "eventsim.cycles" (float_of_int r.cycles);
+    Obs.observe "eventsim.max_queue" (float_of_int r.max_link_queue);
+    Obs.observe "eventsim.link_busy" (float_of_int r.total_link_busy)
+  end;
+  r
+
 type packet = {
   route : (int * int) array;
   bytes : int;
@@ -67,10 +83,11 @@ let run_wormhole topo params msgs =
     total_link_busy = !busy;
   }
 
-let run topo params msgs =
+let run ?sampler ?(sample_every = 64) topo params msgs =
   if params.bytes_per_cycle <= 0 || params.startup_cycles < 0 then
     invalid_arg "Eventsim.run: bad parameters";
-  if params.mode = Wormhole then run_wormhole topo params msgs
+  if sample_every <= 0 then invalid_arg "Eventsim.run: sample_every <= 0";
+  if params.mode = Wormhole then record_result (run_wormhole topo params msgs)
   else begin
   let remote = List.filter (fun m -> not (Message.is_local m)) msgs in
   let n_local = List.length msgs - List.length remote in
@@ -121,9 +138,39 @@ let run topo params msgs =
     let depth = Queue.length l.queue in
     if depth > !max_queue then max_queue := depth
   in
+  (* Per-cycle observation: queue depths and link occupancy, sampled
+     every [sample_every] cycles.  Costs one modulo per cycle when
+     neither a sampler nor Obs recording is active. *)
+  let observing = sampler <> None || Obs.enabled () in
+  let take_sample () =
+    let busy_links = ref 0 and max_q = ref 0 and in_flight = ref 0 in
+    Hashtbl.iter
+      (fun _ s ->
+        (match s.current with Some _ -> incr busy_links | None -> ());
+        let d = Queue.length s.queue in
+        in_flight := !in_flight + d + (match s.current with Some _ -> 1 | None -> 0);
+        if d > !max_q then max_q := d)
+      links;
+    let smp =
+      {
+        cycle = !cycle;
+        in_flight = !in_flight;
+        busy_links = !busy_links;
+        max_queue_now = !max_q;
+      }
+    in
+    (match sampler with Some f -> f smp | None -> ());
+    if Obs.enabled () then begin
+      let ts = float_of_int !cycle in
+      Obs.point "eventsim.in_flight" ~ts (float_of_int !in_flight);
+      Obs.point "eventsim.busy_links" ~ts (float_of_int !busy_links);
+      Obs.point "eventsim.max_queue_now" ~ts (float_of_int !max_q)
+    end
+  in
   let cap = 50_000_000 in
   while !delivered < total do
     if !cycle > cap then failwith "Eventsim.run: simulation did not terminate";
+    if observing && !cycle mod sample_every = 0 then take_sample ();
     (* inject the packets whose time has come *)
     let now, later = List.partition (fun (t, _) -> t <= !cycle) !pending in
     pending := later;
@@ -151,10 +198,11 @@ let run topo params msgs =
       links;
     incr cycle
   done;
-  {
-    cycles = !cycle;
-    delivered = !delivered + n_local;
-    max_link_queue = !max_queue;
-    total_link_busy = !busy;
-  }
+  record_result
+    {
+      cycles = !cycle;
+      delivered = !delivered + n_local;
+      max_link_queue = !max_queue;
+      total_link_busy = !busy;
+    }
   end

@@ -36,6 +36,30 @@ type result = {
   total_link_busy : int;  (** sum over links of busy cycles *)
 }
 
-val run : Topology.t -> params -> Message.t list -> result
+type sample = {
+  cycle : int;
+  in_flight : int;  (** packets queued or crossing a link *)
+  busy_links : int;  (** links currently transmitting *)
+  max_queue_now : int;  (** deepest queue at this instant *)
+}
+(** One instant of the store-and-forward simulation, for time-series
+    observation of how congestion builds and drains. *)
+
+val run :
+  ?sampler:(sample -> unit) ->
+  ?sample_every:int ->
+  Topology.t ->
+  params ->
+  Message.t list ->
+  result
 (** Local messages are delivered at time 0.  Deterministic: messages
-    are injected in list order, one per sender per [startup_cycles]. *)
+    are injected in list order, one per sender per [startup_cycles].
+
+    [sampler] (store-and-forward mode only — wormhole is not
+    cycle-stepped) is called every [sample_every] cycles (default 64)
+    with the instantaneous link state; independently, when
+    {!Obs.enabled} the same samples are recorded as {!Obs.point} time
+    series ([eventsim.in_flight], [eventsim.busy_links],
+    [eventsim.max_queue_now], timestamped in cycles) and the final
+    result feeds the [eventsim.*] histograms.  With no sampler and
+    Obs disabled the per-cycle overhead is a single test. *)

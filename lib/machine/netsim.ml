@@ -67,6 +67,12 @@ let run ?(coalesce = true) topo params msgs =
       +. (params.beta *. float_of_int max_link_load)
       +. (params.hop *. float_of_int !max_hops)
   in
+  if Obs.enabled () then begin
+    Obs.incr "netsim.runs";
+    Obs.incr ~by:(List.length remote) "netsim.messages";
+    Obs.observe "netsim.time" time;
+    Obs.observe "netsim.max_link_load" (float_of_int max_link_load)
+  end;
   {
     time;
     messages = List.length remote;

@@ -38,7 +38,12 @@ val run : ?coalesce:bool -> Topology.t -> params -> Message.t list -> stats
     [false] to model the runtime's generic path for a {e general}
     affine communication: the pattern is too irregular to vectorize,
     so every element pays its own start-up — the very overhead the
-    paper's decomposition removes. *)
+    paper's decomposition removes.
+
+    When {!Obs.enabled}, each run increments the [netsim.runs] /
+    [netsim.messages] counters and feeds the [netsim.time] and
+    [netsim.max_link_load] histograms, so a sweep leaves a
+    machine-readable record of every pricing it performed. *)
 
 val coalesce_messages : Message.t list -> Message.t list
 (** Merge messages sharing (src, dst) into one with summed bytes. *)

@@ -1,0 +1,346 @@
+(* Global, single-threaded instrumentation state.  The hot-path
+   contract: every recording entry point first tests [enabled_flag],
+   so a disabled build does no allocation and no table lookup. *)
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let clock = ref Sys.time
+let set_clock f = clock := f
+let now_us () = !clock () *. 1e6
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let enabled_flag = ref false
+
+type span = {
+  span_name : string;
+  ts_us : float;
+  dur_us : float;
+  depth : int;
+  args : (string * string) list;
+}
+
+type series_point = { point_name : string; point_ts : float; value : float }
+
+type histogram = { count : int; sum : float; min_v : float; max_v : float }
+
+let span_log : span list ref = ref [] (* reverse completion order *)
+let point_log : series_point list ref = ref [] (* reverse order *)
+let cur_depth = ref 0
+let counters : (string, int) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, float) Hashtbl.t = Hashtbl.create 16
+let histos : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let enable () = enabled_flag := true
+let disable () = enabled_flag := false
+let enabled () = !enabled_flag
+
+let reset () =
+  span_log := [];
+  point_log := [];
+  cur_depth := 0;
+  Hashtbl.reset counters;
+  Hashtbl.reset gauges;
+  Hashtbl.reset histos
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let with_span ?(args = []) name f =
+  if not !enabled_flag then f ()
+  else begin
+    let depth = !cur_depth in
+    incr cur_depth;
+    let t0 = now_us () in
+    let finish () =
+      let t1 = now_us () in
+      cur_depth := depth;
+      span_log :=
+        { span_name = name; ts_us = t0; dur_us = t1 -. t0; depth; args }
+        :: !span_log
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let spans () = List.rev !span_log
+
+let time_ms f =
+  let t0 = !clock () in
+  let v = f () in
+  (v, (!clock () -. t0) *. 1e3)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let incr ?(by = 1) name =
+  if !enabled_flag then
+    Hashtbl.replace counters name
+      (by + Option.value ~default:0 (Hashtbl.find_opt counters name))
+
+let counter name = Option.value ~default:0 (Hashtbl.find_opt counters name)
+
+let set_gauge name v = if !enabled_flag then Hashtbl.replace gauges name v
+
+let gauge name = Hashtbl.find_opt gauges name
+
+let observe name v =
+  if !enabled_flag then
+    let h =
+      match Hashtbl.find_opt histos name with
+      | None -> { count = 1; sum = v; min_v = v; max_v = v }
+      | Some h ->
+        {
+          count = h.count + 1;
+          sum = h.sum +. v;
+          min_v = min h.min_v v;
+          max_v = max h.max_v v;
+        }
+    in
+    Hashtbl.replace histos name h
+
+let histogram name = Hashtbl.find_opt histos name
+
+let point name ~ts v =
+  if !enabled_flag then
+    point_log := { point_name = name; point_ts = ts; value = v } :: !point_log
+
+(* ------------------------------------------------------------------ *)
+(* JSON helpers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+
+(* JSON floats: [Printf %g] can print [inf]/[nan], which are not JSON;
+   clamp them to null-safe zero (metrics should never produce them). *)
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.3f" v else "0.000"
+
+let json_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> json_str k ^ ":" ^ v) fields) ^ "}"
+
+let args_obj args = json_obj (List.map (fun (k, v) -> (k, json_str v)) args)
+
+let sorted_bindings tbl =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let span_event (s : span) =
+  json_obj
+    [
+      ("name", json_str s.span_name);
+      ("cat", json_str "obs");
+      ("ph", json_str "X");
+      ("ts", json_float s.ts_us);
+      ("dur", json_float s.dur_us);
+      ("pid", "1");
+      ("tid", "1");
+      ("args", args_obj (("depth", string_of_int s.depth) :: s.args));
+    ]
+
+(* Time-series points live on their own pid so the viewer draws them
+   as counter tracks below the span flame graph. *)
+let point_event (p : series_point) =
+  json_obj
+    [
+      ("name", json_str p.point_name);
+      ("ph", json_str "C");
+      ("ts", json_float p.point_ts);
+      ("pid", "2");
+      ("args", json_obj [ ("value", json_float p.value) ]);
+    ]
+
+let counter_event ~ts name v =
+  json_obj
+    [
+      ("name", json_str name);
+      ("ph", json_str "C");
+      ("ts", json_float ts);
+      ("pid", "1");
+      ("args", json_obj [ ("value", string_of_int v) ]);
+    ]
+
+let chrome_trace () =
+  let spans = List.rev !span_log in
+  let points = List.rev !point_log in
+  let end_ts =
+    List.fold_left (fun acc (s : span) -> Float.max acc (s.ts_us +. s.dur_us)) 0.0 spans
+  in
+  let events =
+    List.map span_event spans
+    @ List.map point_event points
+    @ List.map (fun (k, v) -> counter_event ~ts:end_ts k v) (sorted_bindings counters)
+  in
+  "{\"traceEvents\":[" ^ String.concat "," events ^ "],\"displayTimeUnit\":\"ms\"}"
+
+let jsonl () =
+  let buf = Buffer.create 1024 in
+  let line s = Buffer.add_string buf (s ^ "\n") in
+  List.iter
+    (fun (s : span) ->
+      line
+        (json_obj
+           ([
+              ("type", json_str "span");
+              ("name", json_str s.span_name);
+              ("ts_us", json_float s.ts_us);
+              ("dur_us", json_float s.dur_us);
+              ("depth", string_of_int s.depth);
+            ]
+           @ if s.args = [] then [] else [ ("args", args_obj s.args) ])))
+    (List.rev !span_log);
+  List.iter
+    (fun (p : series_point) ->
+      line
+        (json_obj
+           [
+             ("type", json_str "point");
+             ("name", json_str p.point_name);
+             ("ts", json_float p.point_ts);
+             ("value", json_float p.value);
+           ]))
+    (List.rev !point_log);
+  List.iter
+    (fun (k, v) ->
+      line
+        (json_obj
+           [ ("type", json_str "counter"); ("name", json_str k); ("value", string_of_int v) ]))
+    (sorted_bindings counters);
+  List.iter
+    (fun (k, v) ->
+      line
+        (json_obj
+           [ ("type", json_str "gauge"); ("name", json_str k); ("value", json_float v) ]))
+    (sorted_bindings gauges);
+  List.iter
+    (fun (k, (h : histogram)) ->
+      line
+        (json_obj
+           [
+             ("type", json_str "histogram");
+             ("name", json_str k);
+             ("count", string_of_int h.count);
+             ("sum", json_float h.sum);
+             ("min", json_float h.min_v);
+             ("max", json_float h.max_v);
+           ]))
+    (sorted_bindings histos);
+  Buffer.contents buf
+
+(* per-name span aggregates: count, total duration, max duration *)
+let span_aggregates () =
+  let tbl : (string, int * float * float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (s : span) ->
+      let n, tot, mx =
+        Option.value ~default:(0, 0.0, 0.0) (Hashtbl.find_opt tbl s.span_name)
+      in
+      Hashtbl.replace tbl s.span_name
+        (n + 1, tot +. s.dur_us, Float.max mx s.dur_us))
+    !span_log;
+  sorted_bindings tbl
+
+let metrics_json () =
+  let field_list to_json tbl_bindings =
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> json_str k ^ ":" ^ to_json v) tbl_bindings)
+    ^ "}"
+  in
+  json_obj
+    [
+      ("counters", field_list string_of_int (sorted_bindings counters));
+      ("gauges", field_list json_float (sorted_bindings gauges));
+      ( "histograms",
+        field_list
+          (fun (h : histogram) ->
+            json_obj
+              [
+                ("count", string_of_int h.count);
+                ("sum", json_float h.sum);
+                ("min", json_float h.min_v);
+                ("max", json_float h.max_v);
+              ])
+          (sorted_bindings histos) );
+      ( "spans",
+        field_list
+          (fun (n, tot, mx) ->
+            json_obj
+              [
+                ("count", string_of_int n);
+                ("total_us", json_float tot);
+                ("max_us", json_float mx);
+              ])
+          (span_aggregates ()) );
+    ]
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let pp_summary ppf () =
+  let aggs = span_aggregates () in
+  if aggs <> [] then begin
+    Format.fprintf ppf "spans:@\n";
+    Format.fprintf ppf "  %-32s %6s %12s %12s@\n" "name" "count" "total ms" "max ms";
+    List.iter
+      (fun (name, (n, tot, mx)) ->
+        Format.fprintf ppf "  %-32s %6d %12.3f %12.3f@\n" name n (tot /. 1e3)
+          (mx /. 1e3))
+      aggs
+  end;
+  let cs = sorted_bindings counters in
+  if cs <> [] then begin
+    Format.fprintf ppf "counters:@\n";
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %-32s %12d@\n" k v) cs
+  end;
+  let gs = sorted_bindings gauges in
+  if gs <> [] then begin
+    Format.fprintf ppf "gauges:@\n";
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %-32s %12.3f@\n" k v) gs
+  end;
+  let hs = sorted_bindings histos in
+  if hs <> [] then begin
+    Format.fprintf ppf "histograms:@\n";
+    Format.fprintf ppf "  %-32s %6s %12s %12s %12s@\n" "name" "count" "mean" "min"
+      "max";
+    List.iter
+      (fun (k, (h : histogram)) ->
+        Format.fprintf ppf "  %-32s %6d %12.3f %12.3f %12.3f@\n" k h.count
+          (h.sum /. float_of_int h.count)
+          h.min_v h.max_v)
+      hs
+  end;
+  if aggs = [] && cs = [] && gs = [] && hs = [] then
+    Format.fprintf ppf "no observations recorded@\n"
