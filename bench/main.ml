@@ -2,11 +2,20 @@
    paper's evaluation (see EXPERIMENTS.md for the paper-vs-measured
    record) plus Bechamel micro-benchmarks of the analyses themselves.
 
-     dune exec bench/main.exe              # everything
-     dune exec bench/main.exe -- table1    # one experiment
+     dune exec bench/main.exe                   # everything
+     dune exec bench/main.exe -- table1         # one experiment
+     dune exec bench/main.exe -- --jobs 4 sweep # fan over 4 domains
 *)
 
 open Linalg
+
+(* --jobs N (the knob applies to the experiments that fan out work:
+   sweep and the §4.2 searches; parbench sets its own jobs levels) *)
+let cli_jobs : int option ref = ref None
+
+(* pool shared by the search/similarity experiments when --jobs is
+   given; created lazily, shut down at exit *)
+let search_pool : Par.Pool.t option ref = ref None
 
 let section title =
   Format.printf "@.=============================================================@.";
@@ -250,7 +259,7 @@ let search () =
   section "Section 4.2 - exhaustive verification: <= 4 elementary factors";
   List.iter
     (fun bound ->
-      let h = Decomp.Search.factor_histogram ~bound in
+      let h = Decomp.Search.factor_histogram ?pool:!search_pool ~bound () in
       Format.printf "%a@." Decomp.Search.pp h)
     [ 3; 6; 10 ]
 
@@ -258,7 +267,9 @@ let similarity () =
   section "Section 4.2.2 - similarity to a two-factor product";
   List.iter
     (fun (bound, conj_bound) ->
-      let total, suff, srch = Decomp.Search.similarity_histogram ~bound ~conj_bound in
+      let total, suff, srch =
+        Decomp.Search.similarity_histogram ?pool:!search_pool ~bound ~conj_bound ()
+      in
       Format.printf
         "|entries| <= %d (conjugators <= %d): %d matrices, %d by sufficient condition, %d by search@."
         bound conj_bound total suff srch)
@@ -392,7 +403,63 @@ let plancost () =
 
 let sweep () =
   section "Sweep - every workload x machine model, optimized vs baseline";
-  Resopt.Sweep.pp_table Format.std_formatter (Resopt.Sweep.run ())
+  Resopt.Sweep.pp_table Format.std_formatter (Resopt.Sweep.run ?jobs:!cli_jobs ())
+
+(* ------------------------------------------------------------------ *)
+(* Parallel runtime: sequential-vs-parallel sweep speedup              *)
+(* ------------------------------------------------------------------ *)
+
+(* Timing fields are per-run wall clock; blank them before comparing
+   rows across jobs levels. *)
+let strip_rows rows =
+  List.map
+    (fun (r : Resopt.Sweep.row) ->
+      { r with Resopt.Sweep.time_ms = 0.0; cost_ms = 0.0 })
+    rows
+
+let parbench () =
+  section "Parallel sweep - cells/sec and speedup over the Par runtime";
+  let ms = [ 1; 2; 3 ] in
+  let measure jobs =
+    let t0 = Unix.gettimeofday () in
+    let rows = Resopt.Sweep.run ~jobs ~ms () in
+    (rows, Unix.gettimeofday () -. t0)
+  in
+  (* warm-up so the first measurement doesn't pay one-time costs *)
+  ignore (Resopt.Sweep.run ~ms:[ 2 ] ());
+  let rows1, t1 = measure 1 in
+  let cells =
+    List.length
+      (List.sort_uniq compare
+         (List.map (fun (r : Resopt.Sweep.row) -> (r.Resopt.Sweep.workload, r.Resopt.Sweep.m)) rows1))
+  in
+  let runs =
+    (1, rows1, t1)
+    :: List.map (fun jobs -> let rows, t = measure jobs in (jobs, rows, t)) [ 2; 4 ]
+  in
+  Format.printf "%5s %10s %12s %9s %15s@." "jobs" "seconds" "cells/sec" "speedup"
+    "rows identical";
+  let entries =
+    List.map
+      (fun (jobs, rows, t) ->
+        let identical = strip_rows rows = strip_rows rows1 in
+        let cps = if t > 0.0 then float_of_int cells /. t else 0.0 in
+        let speedup = if t > 0.0 then t1 /. t else 0.0 in
+        Format.printf "%5d %10.3f %12.1f %8.2fx %15b@." jobs t cps speedup identical;
+        Printf.sprintf
+          "{\"jobs\":%d,\"seconds\":%.6f,\"cells_per_sec\":%.2f,\"speedup\":%.3f,\"rows_identical\":%b}"
+          jobs t cps speedup identical)
+      runs
+  in
+  let json =
+    Printf.sprintf
+      "{\"cells\":%d,\"rows\":%d,\"ms\":[1,2,3],\"recommended_domains\":%d,\"runs\":[%s]}"
+      cells (List.length rows1)
+      (Domain.recommended_domain_count ())
+      (String.concat "," entries)
+  in
+  Obs.write_file "BENCH_par.json" json;
+  Format.eprintf "parallel sweep snapshot written to BENCH_par.json@."
 
 (* ------------------------------------------------------------------ *)
 (* Event-driven cross-validation of Table 2                            *)
@@ -581,6 +648,7 @@ let experiments =
     ("platonoff", platonoff);
     ("plancost", plancost);
     ("sweep", sweep);
+    ("parbench", parbench);
     ("autodim", autodim);
     ("progtime", progtime);
     ("optimality", optimality);
@@ -596,9 +664,23 @@ let experiments =
 let () =
   Obs.set_clock Unix.gettimeofday;
   Obs.enable ();
-  (match Array.to_list Sys.argv with
-  | _ :: [] -> List.iter (fun (_, f) -> f ()) experiments
-  | _ :: names ->
+  let rec parse_args = function
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> cli_jobs := Some j
+      | _ ->
+        Format.eprintf "--jobs expects a positive integer, got %s@." n;
+        exit 1);
+      parse_args rest
+    | rest -> rest
+  in
+  let names = parse_args (List.tl (Array.to_list Sys.argv)) in
+  (match !cli_jobs with
+  | Some j when j > 1 -> search_pool := Some (Par.Pool.create ~jobs:j ())
+  | _ -> ());
+  (match names with
+  | [] -> List.iter (fun (_, f) -> f ()) experiments
+  | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
@@ -608,7 +690,7 @@ let () =
             (String.concat " "
                (List.map (fun (n, _) -> " " ^ n) experiments));
           exit 1)
-      names
-  | [] -> assert false);
+      names);
+  Option.iter Par.Pool.shutdown !search_pool;
   Obs.write_file "BENCH_obs.json" (Obs.metrics_json ());
   Format.eprintf "metrics snapshot written to BENCH_obs.json@."

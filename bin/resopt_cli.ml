@@ -4,6 +4,7 @@
      resopt-cli list
      resopt-cli run example1 [-m 2] [--baseline platonoff|feautrier]
      resopt-cli graph example1 [-m 2]
+     resopt-cli sweep [--jobs 4] [--ms 1,2,3] [--csv FILE]
      resopt-cli simulate [-k 3] [--layout grouped|block|cyclic]
 *)
 
@@ -220,6 +221,14 @@ let compile_cmd =
   in
   Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ file_arg $ m_arg $ out_arg)
 
+let jobs_arg =
+  let doc =
+    "Fan the work over $(docv) domains (a Par.Pool).  Results are \
+     identical whatever the value; omit the flag for the sequential \
+     path that never touches the parallel runtime."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let fuzz_cmd =
   let doc = "Run random nests through the optimizer and the validators." in
   let count_arg =
@@ -228,24 +237,63 @@ let fuzz_cmd =
   let seed_arg =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed.")
   in
-  let run count seed =
+  let run count seed jobs =
+    let nests = Nestir.Gennest.generate_many ~seed ~count in
+    let verdict nest =
+      match Resopt.Pipeline.run ~m:2 nest with
+      | exception Failure _ -> `Skipped
+      | r -> if Resopt.Validate.is_valid r then `Ok else `Invalid
+    in
+    let verdicts =
+      match jobs with
+      | None -> List.map verdict nests
+      | Some j ->
+        Par.Pool.with_pool ~jobs:j (fun pool -> Par.map pool verdict nests)
+    in
     let ok = ref 0 and skipped = ref 0 and failed = ref 0 in
-    List.iter
-      (fun nest ->
-        match Resopt.Pipeline.run ~m:2 nest with
-        | exception Failure _ -> incr skipped
-        | r ->
-          if Resopt.Validate.is_valid r then incr ok
-          else begin
-            incr failed;
-            Format.printf "INVALID: %s@." nest.Nestir.Loopnest.nest_name
-          end)
-      (Nestir.Gennest.generate_many ~seed ~count);
+    List.iter2
+      (fun nest v ->
+        match v with
+        | `Ok -> incr ok
+        | `Skipped -> incr skipped
+        | `Invalid ->
+          incr failed;
+          Format.printf "INVALID: %s@." nest.Nestir.Loopnest.nest_name)
+      nests verdicts;
     Format.printf "fuzz: %d valid, %d unmaterializable, %d INVALID@." !ok !skipped
       !failed;
     if !failed > 0 then exit 1
   in
-  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const run $ count_arg $ seed_arg)
+  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const run $ count_arg $ seed_arg $ jobs_arg)
+
+let sweep_cmd =
+  let doc =
+    "Sweep every workload x machine model (x grid dimension), pricing \
+     the two-step heuristic against the step-1-only baseline."
+  in
+  let ms_arg =
+    let doc = "Comma-separated grid dimensions to sweep." in
+    Arg.(value & opt (list int) [ 2 ] & info [ "ms" ] ~docv:"M,M,..." ~doc)
+  in
+  let csv_arg =
+    let doc =
+      "Also write the rows to $(docv) as CSV — deterministic columns \
+       only, so outputs diff clean across runs and $(b,--jobs) values."
+    in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
+  let run jobs ms csv obs =
+    with_obs obs @@ fun () ->
+    let rows = Resopt.Sweep.run ?jobs ~ms () in
+    Resopt.Sweep.pp_table Format.std_formatter rows;
+    match csv with
+    | None -> ()
+    | Some file ->
+      Obs.write_file file (Resopt.Sweep.to_csv rows);
+      Format.eprintf "csv written to %s@." file
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run $ jobs_arg $ ms_arg $ csv_arg $ obs_term)
 
 let report_cmd =
   let doc = "Full markdown report: plan, validation, costs, directives." in
@@ -301,4 +349,4 @@ let simulate_cmd =
 let () =
   let doc = "Optimize residual communications of affine loop nests (Dion, Randriamaro, Robert 1996)." in
   let info = Cmd.info "resopt-cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; graph_cmd; codegen_cmd; parse_cmd; compile_cmd; report_cmd; fuzz_cmd; autodim_cmd; spmd_cmd; simulate_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; graph_cmd; codegen_cmd; parse_cmd; compile_cmd; report_cmd; fuzz_cmd; autodim_cmd; spmd_cmd; simulate_cmd; sweep_cmd ]))

@@ -16,11 +16,18 @@ type row = {
   validated : bool;
   time_ms : float;
       (** wall time of the optimizer + baseline runs for this
-          (workload, m), via {!Obs.time_ms} — a coarse perf-regression
-          signal that rides along in every sweep table *)
+          (workload, m) cell, via {!Obs.time_ms}.  The same value is
+          stamped into every model row of the cell (the pair runs
+          once), but the [sweep.time_ms] histogram observes it only
+          once per cell. *)
+  cost_ms : float;
+      (** wall time of pricing the two plans on this row's machine
+          model — the only per-model work — observed per row in the
+          [sweep.cost_ms] histogram. *)
 }
 
 val run :
+  ?jobs:int ->
   ?ms:int list ->
   ?models:Machine.Models.t list ->
   ?workloads:Workloads.t list ->
@@ -30,9 +37,24 @@ val run :
     Workload/dimension combinations the alignment cannot materialize
     are skipped.
 
-    When {!Obs.enabled}, every cell is wrapped in a [sweep.cell] span
-    tagged with (workload, m, model) and feeds the [sweep.cells] /
-    [sweep.non_local] counters and [sweep.gain] / [sweep.time_ms]
-    histograms. *)
+    [jobs] fans the (workload, m) cells over a {!Par.Pool} of that
+    size.  Parallelism never changes the rows: results are assembled
+    in input order and [~jobs:n] output is identical to [~jobs:1]
+    (timing fields excepted, as between any two runs); omitting [jobs]
+    keeps today's sequential path, never touching [Par].
+
+    When {!Obs.enabled}, every model row is priced inside a
+    [sweep.cell] span tagged with (workload, m, model) and feeds the
+    [sweep.cells] / [sweep.non_local] counters and the [sweep.gain] /
+    [sweep.time_ms] / [sweep.cost_ms] histograms — under [jobs] the
+    workers record into isolated collectors that are merged back at
+    join, so the totals match a sequential sweep. *)
 
 val pp_table : Format.formatter -> row list -> unit
+
+val to_csv : row list -> string
+(** The rows as CSV, header line included — only the deterministic
+    columns (workload, m, model, optimized, baseline, gain, non_local,
+    validated), no timings, so two sweeps of the same build diff clean
+    whatever [jobs] was.  This is the artifact the CI determinism gate
+    compares across [--jobs 1] / [--jobs 4]. *)

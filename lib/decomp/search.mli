@@ -13,11 +13,14 @@ type histogram = {
   witnesses_beyond : Mat.t list;  (** a few of them, if any *)
 }
 
-val factor_histogram : bound:int -> histogram
+val factor_histogram : ?pool:Par.Pool.t -> bound:int -> unit -> histogram
 (** Scan all matrices with entries in [[-bound, bound]] and
-    determinant 1. *)
+    determinant 1.  [pool] fans the scan over the parallel runtime,
+    one slice per top-left entry; the result — witness list included —
+    is identical to the sequential scan. *)
 
-val similarity_histogram : bound:int -> conj_bound:int -> int * int * int
+val similarity_histogram :
+  ?pool:Par.Pool.t -> bound:int -> conj_bound:int -> unit -> int * int * int
 (** [(total, by_sufficient, by_search)]: determinant-1 matrices in the
     box that are similar to a two-factor product — detected by the
     paper's sufficient condition vs. by exhaustive conjugator search

@@ -1,6 +1,12 @@
-(* Global, single-threaded instrumentation state.  The hot-path
+(* Instrumentation state, one collector per domain.  The hot-path
    contract: every recording entry point first tests [enabled_flag],
-   so a disabled build does no allocation and no table lookup. *)
+   so a disabled build does no allocation and no table lookup (not
+   even the domain-local-storage read).
+
+   Each domain records into its own collector (held in [Domain.DLS]),
+   so parallel workers spawned by [Par] never contend on the
+   registries; [Worker.capture] gives a task a fresh collector and
+   [Worker.merge] folds it back into the caller's registry at join. *)
 
 (* ------------------------------------------------------------------ *)
 (* Clock                                                               *)
@@ -28,24 +34,43 @@ type series_point = { point_name : string; point_ts : float; value : float }
 
 type histogram = { count : int; sum : float; min_v : float; max_v : float }
 
-let span_log : span list ref = ref [] (* reverse completion order *)
-let point_log : series_point list ref = ref [] (* reverse order *)
-let cur_depth = ref 0
-let counters : (string, int) Hashtbl.t = Hashtbl.create 32
-let gauges : (string, float) Hashtbl.t = Hashtbl.create 16
-let histos : (string, histogram) Hashtbl.t = Hashtbl.create 16
+type collector = {
+  mutable span_log : span list; (* reverse completion order *)
+  mutable point_log : series_point list; (* reverse order *)
+  mutable cur_depth : int;
+  counters : (string, int) Hashtbl.t;
+  gauges : (string, float) Hashtbl.t;
+  histos : (string, histogram) Hashtbl.t;
+}
+
+let new_collector () =
+  {
+    span_log = [];
+    point_log = [];
+    cur_depth = 0;
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    histos = Hashtbl.create 16;
+  }
+
+(* The main domain's slot is the parent registry every exporter reads;
+   a freshly spawned domain starts with an empty collector of its own. *)
+let collector_key : collector Domain.DLS.key = Domain.DLS.new_key new_collector
+
+let cur () = Domain.DLS.get collector_key
 
 let enable () = enabled_flag := true
 let disable () = enabled_flag := false
 let enabled () = !enabled_flag
 
 let reset () =
-  span_log := [];
-  point_log := [];
-  cur_depth := 0;
-  Hashtbl.reset counters;
-  Hashtbl.reset gauges;
-  Hashtbl.reset histos
+  let c = cur () in
+  c.span_log <- [];
+  c.point_log <- [];
+  c.cur_depth <- 0;
+  Hashtbl.reset c.counters;
+  Hashtbl.reset c.gauges;
+  Hashtbl.reset c.histos
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
@@ -54,15 +79,16 @@ let reset () =
 let with_span ?(args = []) name f =
   if not !enabled_flag then f ()
   else begin
-    let depth = !cur_depth in
-    incr cur_depth;
+    let c = cur () in
+    let depth = c.cur_depth in
+    c.cur_depth <- depth + 1;
     let t0 = now_us () in
     let finish () =
       let t1 = now_us () in
-      cur_depth := depth;
-      span_log :=
+      c.cur_depth <- depth;
+      c.span_log <-
         { span_name = name; ts_us = t0; dur_us = t1 -. t0; depth; args }
-        :: !span_log
+        :: c.span_log
     in
     match f () with
     | v ->
@@ -73,7 +99,7 @@ let with_span ?(args = []) name f =
       raise e
   end
 
-let spans () = List.rev !span_log
+let spans () = List.rev (cur ()).span_log
 
 let time_ms f =
   let t0 = !clock () in
@@ -86,17 +112,20 @@ let time_ms f =
 
 let incr ?(by = 1) name =
   if !enabled_flag then
+    let counters = (cur ()).counters in
     Hashtbl.replace counters name
       (by + Option.value ~default:0 (Hashtbl.find_opt counters name))
 
-let counter name = Option.value ~default:0 (Hashtbl.find_opt counters name)
+let counter name =
+  Option.value ~default:0 (Hashtbl.find_opt (cur ()).counters name)
 
-let set_gauge name v = if !enabled_flag then Hashtbl.replace gauges name v
+let set_gauge name v = if !enabled_flag then Hashtbl.replace (cur ()).gauges name v
 
-let gauge name = Hashtbl.find_opt gauges name
+let gauge name = Hashtbl.find_opt (cur ()).gauges name
 
 let observe name v =
   if !enabled_flag then
+    let histos = (cur ()).histos in
     let h =
       match Hashtbl.find_opt histos name with
       | None -> { count = 1; sum = v; min_v = v; max_v = v }
@@ -110,11 +139,12 @@ let observe name v =
     in
     Hashtbl.replace histos name h
 
-let histogram name = Hashtbl.find_opt histos name
+let histogram name = Hashtbl.find_opt (cur ()).histos name
 
 let point name ~ts v =
   if !enabled_flag then
-    point_log := { point_name = name; point_ts = ts; value = v } :: !point_log
+    let c = cur () in
+    c.point_log <- { point_name = name; point_ts = ts; value = v } :: c.point_log
 
 (* ------------------------------------------------------------------ *)
 (* JSON helpers                                                        *)
@@ -191,19 +221,23 @@ let counter_event ~ts name v =
     ]
 
 let chrome_trace () =
-  let spans = List.rev !span_log in
-  let points = List.rev !point_log in
+  let c = cur () in
+  let spans = List.rev c.span_log in
+  let points = List.rev c.point_log in
   let end_ts =
     List.fold_left (fun acc (s : span) -> Float.max acc (s.ts_us +. s.dur_us)) 0.0 spans
   in
   let events =
     List.map span_event spans
     @ List.map point_event points
-    @ List.map (fun (k, v) -> counter_event ~ts:end_ts k v) (sorted_bindings counters)
+    @ List.map
+        (fun (k, v) -> counter_event ~ts:end_ts k v)
+        (sorted_bindings c.counters)
   in
   "{\"traceEvents\":[" ^ String.concat "," events ^ "],\"displayTimeUnit\":\"ms\"}"
 
 let jsonl () =
+  let c = cur () in
   let buf = Buffer.create 1024 in
   let line s = Buffer.add_string buf (s ^ "\n") in
   List.iter
@@ -218,7 +252,7 @@ let jsonl () =
               ("depth", string_of_int s.depth);
             ]
            @ if s.args = [] then [] else [ ("args", args_obj s.args) ])))
-    (List.rev !span_log);
+    (List.rev c.span_log);
   List.iter
     (fun (p : series_point) ->
       line
@@ -229,19 +263,19 @@ let jsonl () =
              ("ts", json_float p.point_ts);
              ("value", json_float p.value);
            ]))
-    (List.rev !point_log);
+    (List.rev c.point_log);
   List.iter
     (fun (k, v) ->
       line
         (json_obj
            [ ("type", json_str "counter"); ("name", json_str k); ("value", string_of_int v) ]))
-    (sorted_bindings counters);
+    (sorted_bindings c.counters);
   List.iter
     (fun (k, v) ->
       line
         (json_obj
            [ ("type", json_str "gauge"); ("name", json_str k); ("value", json_float v) ]))
-    (sorted_bindings gauges);
+    (sorted_bindings c.gauges);
   List.iter
     (fun (k, (h : histogram)) ->
       line
@@ -254,7 +288,7 @@ let jsonl () =
              ("min", json_float h.min_v);
              ("max", json_float h.max_v);
            ]))
-    (sorted_bindings histos);
+    (sorted_bindings c.histos);
   Buffer.contents buf
 
 (* per-name span aggregates: count, total duration, max duration *)
@@ -267,10 +301,11 @@ let span_aggregates () =
       in
       Hashtbl.replace tbl s.span_name
         (n + 1, tot +. s.dur_us, Float.max mx s.dur_us))
-    !span_log;
+    (cur ()).span_log;
   sorted_bindings tbl
 
 let metrics_json () =
+  let c = cur () in
   let field_list to_json tbl_bindings =
     "{"
     ^ String.concat ","
@@ -279,8 +314,8 @@ let metrics_json () =
   in
   json_obj
     [
-      ("counters", field_list string_of_int (sorted_bindings counters));
-      ("gauges", field_list json_float (sorted_bindings gauges));
+      ("counters", field_list string_of_int (sorted_bindings c.counters));
+      ("gauges", field_list json_float (sorted_bindings c.gauges));
       ( "histograms",
         field_list
           (fun (h : histogram) ->
@@ -291,7 +326,7 @@ let metrics_json () =
                 ("min", json_float h.min_v);
                 ("max", json_float h.max_v);
               ])
-          (sorted_bindings histos) );
+          (sorted_bindings c.histos) );
       ( "spans",
         field_list
           (fun (n, tot, mx) ->
@@ -310,6 +345,7 @@ let write_file path contents =
   close_out oc
 
 let pp_summary ppf () =
+  let c = cur () in
   let aggs = span_aggregates () in
   if aggs <> [] then begin
     Format.fprintf ppf "spans:@\n";
@@ -320,17 +356,17 @@ let pp_summary ppf () =
           (mx /. 1e3))
       aggs
   end;
-  let cs = sorted_bindings counters in
+  let cs = sorted_bindings c.counters in
   if cs <> [] then begin
     Format.fprintf ppf "counters:@\n";
     List.iter (fun (k, v) -> Format.fprintf ppf "  %-32s %12d@\n" k v) cs
   end;
-  let gs = sorted_bindings gauges in
+  let gs = sorted_bindings c.gauges in
   if gs <> [] then begin
     Format.fprintf ppf "gauges:@\n";
     List.iter (fun (k, v) -> Format.fprintf ppf "  %-32s %12.3f@\n" k v) gs
   end;
-  let hs = sorted_bindings histos in
+  let hs = sorted_bindings c.histos in
   if hs <> [] then begin
     Format.fprintf ppf "histograms:@\n";
     Format.fprintf ppf "  %-32s %6s %12s %12s %12s@\n" "name" "count" "mean" "min"
@@ -344,3 +380,66 @@ let pp_summary ppf () =
   end;
   if aggs = [] && cs = [] && gs = [] && hs = [] then
     Format.fprintf ppf "no observations recorded@\n"
+
+(* ------------------------------------------------------------------ *)
+(* Parallel workers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Worker = struct
+  (* [collected = None] when recording was disabled during the capture:
+     there is nothing to merge and [merge] is a no-op. *)
+  type snapshot = { worker_id : int; collected : collector option }
+
+  let capture ~worker f =
+    if not !enabled_flag then
+      let v = f () in
+      (v, { worker_id = worker; collected = None })
+    else begin
+      let fresh = new_collector () in
+      let prev = cur () in
+      Domain.DLS.set collector_key fresh;
+      match f () with
+      | v ->
+        Domain.DLS.set collector_key prev;
+        (v, { worker_id = worker; collected = Some fresh })
+      | exception e ->
+        Domain.DLS.set collector_key prev;
+        raise e
+    end
+
+  let merge { worker_id; collected } =
+    match collected with
+    | None -> ()
+    | Some w ->
+      let c = cur () in
+      let tag = ("worker", string_of_int worker_id) in
+      (* both logs are kept in reverse order; rev_map + rev_append keeps
+         the worker's internal ordering and places its events after
+         everything already recorded here *)
+      c.span_log <-
+        List.rev_append
+          (List.rev_map (fun s -> { s with args = tag :: s.args }) w.span_log)
+          c.span_log;
+      c.point_log <- List.rev_append (List.rev w.point_log) c.point_log;
+      Hashtbl.iter
+        (fun k v ->
+          Hashtbl.replace c.counters k
+            (v + Option.value ~default:0 (Hashtbl.find_opt c.counters k)))
+        w.counters;
+      Hashtbl.iter (fun k v -> Hashtbl.replace c.gauges k v) w.gauges;
+      Hashtbl.iter
+        (fun k (h : histogram) ->
+          let merged =
+            match Hashtbl.find_opt c.histos k with
+            | None -> h
+            | Some g ->
+              {
+                count = g.count + h.count;
+                sum = g.sum +. h.sum;
+                min_v = min g.min_v h.min_v;
+                max_v = max g.max_v h.max_v;
+              }
+          in
+          Hashtbl.replace c.histos k merged)
+        w.histos
+end

@@ -19,9 +19,14 @@
     flat JSONL event log, a machine-readable metrics snapshot, or an
     ASCII summary table in the spirit of {!Machine.Trace}.
 
-    The module keeps global state on purpose — instrumentation has to
+    The module keeps ambient state on purpose — instrumentation has to
     be reachable from every layer without threading a handle through
-    each signature — and is not thread-safe, like the rest of the
+    each signature.  Since the parallel runtime ({!Par}) arrived, that
+    state is {e per-domain}: each domain records into its own
+    collector, so concurrent workers never contend, and {!Worker}
+    below lets a parallel runner give every task a fresh collector and
+    fold it back into the caller's registry at join.  Within one
+    domain the module remains single-threaded, like the rest of the
     code base. *)
 
 (** {1 Clock} *)
@@ -129,3 +134,34 @@ val pp_summary : Format.formatter -> unit -> unit
 (** ASCII tables: spans aggregated by name (count, total and max
     duration), then counters, gauges and histograms, all sorted by
     name.  This is what [resopt-cli ... --stats] prints. *)
+
+(** {1 Parallel workers}
+
+    Isolation + merge, the contract {!Par} relies on so that
+    [--trace]/[--stats] stay correct under parallel execution: a task
+    records into a fresh collector while it runs on a worker domain,
+    and the parallel runner folds every task's recordings back into
+    the calling domain's registry once the workers have drained. *)
+
+module Worker : sig
+  type snapshot
+  (** What one captured task recorded; empty (and free) when recording
+      was disabled during the capture. *)
+
+  val capture : worker:int -> (unit -> 'a) -> 'a * snapshot
+  (** [capture ~worker f] runs [f ()] against a fresh collector for
+      the current domain and returns what it recorded, restoring the
+      previous collector afterwards.  [worker] is a free-form slot
+      index; every captured span gains a [("worker", <id>)] arg when
+      the snapshot is merged.  If [f] raises, the recordings are
+      dropped and the exception propagates.  When recording is
+      disabled this is just [f ()]. *)
+
+  val merge : snapshot -> unit
+  (** Fold a snapshot into the {e current} domain's registry: spans
+      and points are appended (keeping their internal order), counters
+      and histograms are summed, gauges take the snapshot's value.
+      Call it from the coordinating domain after the worker has
+      finished — snapshots are plain values, so merging in slot order
+      keeps the registry deterministic. *)
+end

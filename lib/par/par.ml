@@ -1,0 +1,229 @@
+(* Domain pool + deterministic fan-out.  Everything here is stdlib:
+   Domain / Mutex / Condition / Atomic arrived with OCaml 5.
+
+   The execution model is generation-based: the coordinator publishes
+   one job (a [int -> unit] run once per slot), bumps a generation
+   counter and broadcasts; each worker runs the job for that
+   generation exactly once, then decrements [active] and signals the
+   coordinator when the last one drains.  The coordinator itself
+   participates as slot 0, so a pool of [jobs] uses [jobs] domains
+   total and a pool of 1 never leaves the calling domain. *)
+
+module Pool = struct
+  type t = {
+    size : int;
+    mutex : Mutex.t;
+    work_ready : Condition.t;
+    work_done : Condition.t;
+    mutable job : (int -> unit) option;
+    mutable generation : int;
+    mutable active : int; (* workers still inside the current job *)
+    mutable stop : bool;
+    mutable domains : unit Domain.t list; (* spawned on first use *)
+  }
+
+  let create ?jobs () =
+    let size =
+      match jobs with
+      | Some j -> max 1 j
+      | None -> max 1 (Domain.recommended_domain_count ())
+    in
+    {
+      size;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      job = None;
+      generation = 0;
+      active = 0;
+      stop = false;
+      domains = [];
+    }
+
+  let jobs t = t.size
+
+  let worker_loop t slot =
+    let last = ref 0 in
+    let rec loop () =
+      Mutex.lock t.mutex;
+      while (not t.stop) && t.generation = !last do
+        Condition.wait t.work_ready t.mutex
+      done;
+      if t.stop then Mutex.unlock t.mutex
+      else begin
+        let gen = t.generation and f = Option.get t.job in
+        Mutex.unlock t.mutex;
+        last := gen;
+        (* job bodies catch task exceptions themselves; a stray raise
+           here must not kill the domain mid-pool *)
+        (try f slot with _ -> ());
+        Mutex.lock t.mutex;
+        t.active <- t.active - 1;
+        if t.active = 0 then Condition.signal t.work_done;
+        Mutex.unlock t.mutex;
+        loop ()
+      end
+    in
+    loop ()
+
+  let ensure_spawned t =
+    if t.domains = [] && t.size > 1 then
+      t.domains <-
+        List.init (t.size - 1) (fun i ->
+            Domain.spawn (fun () -> worker_loop t (i + 1)))
+
+  (* Run [body slot] once on every slot (0 = the calling domain) and
+     return when all slots have finished. *)
+  let run t body =
+    if t.stop then invalid_arg "Par.Pool: pool used after shutdown";
+    if t.size = 1 then body 0
+    else begin
+      ensure_spawned t;
+      Mutex.lock t.mutex;
+      t.job <- Some body;
+      t.generation <- t.generation + 1;
+      t.active <- t.size - 1;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.mutex;
+      body 0;
+      Mutex.lock t.mutex;
+      while t.active > 0 do
+        Condition.wait t.work_done t.mutex
+      done;
+      t.job <- None;
+      Mutex.unlock t.mutex
+    end
+
+  let shutdown t =
+    if not t.stop then begin
+      Mutex.lock t.mutex;
+      t.stop <- true;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.mutex;
+      List.iter Domain.join t.domains;
+      t.domains <- []
+    end
+
+  let with_pool ?jobs f =
+    let t = create ?jobs () in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic task fan-out                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [n] independent tasks.  [task i] must write any result into
+   slot [i] of a caller-owned array, which makes the output layout a
+   function of the input alone.  Indices are handed out in chunks
+   through an atomic counter for load balance; all tasks are attempted
+   even after a failure, and the failure with the smallest input index
+   wins, so which exception escapes does not depend on scheduling. *)
+let run_tasks pool n task =
+  if n = 0 then ()
+  else if Pool.jobs pool = 1 then
+    for i = 0 to n - 1 do
+      task i
+    done
+  else begin
+    let slots = Pool.jobs pool in
+    let chunk = max 1 (n / (slots * 8)) in
+    let next = Atomic.make 0 in
+    let err : (int * exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
+    let record i e bt =
+      let rec retry () =
+        let prev = Atomic.get err in
+        match prev with
+        | Some (j, _, _) when j <= i -> ()
+        | _ ->
+          if not (Atomic.compare_and_set err prev (Some (i, e, bt))) then
+            retry ()
+      in
+      retry ()
+    in
+    let snapshots = Array.make slots None in
+    Pool.run pool (fun slot ->
+        let (), snap =
+          Obs.Worker.capture ~worker:slot (fun () ->
+              let rec drain () =
+                let start = Atomic.fetch_and_add next chunk in
+                if start < n then begin
+                  let stop = min n (start + chunk) in
+                  for i = start to stop - 1 do
+                    try task i
+                    with e -> record i e (Printexc.get_raw_backtrace ())
+                  done;
+                  drain ()
+                end
+              in
+              drain ())
+        in
+        snapshots.(slot) <- Some snap);
+    (* join happened inside [Pool.run]; merge in slot order so the
+       parent registry is deterministic, then re-raise *)
+    Array.iter (function Some s -> Obs.Worker.merge s | None -> ()) snapshots;
+    match Atomic.get err with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let unwrap = function Some v -> v | None -> assert false
+
+let map_array pool f arr =
+  let n = Array.length arr in
+  let out = Array.make n None in
+  run_tasks pool n (fun i -> out.(i) <- Some (f arr.(i)));
+  Array.map unwrap out
+
+(* ------------------------------------------------------------------ *)
+(* List combinators                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let map pool f l = Array.to_list (map_array pool f (Array.of_list l))
+let filter_map pool f l = List.filter_map Fun.id (map pool f l)
+let concat_map pool f l = List.concat (map pool f l)
+
+let reduce pool f init l =
+  if l = [] then init
+  else if Pool.jobs pool = 1 then List.fold_left f init l
+  else begin
+    let arr = Array.of_list l in
+    let n = Array.length arr in
+    let nchunks = min n (Pool.jobs pool * 4) in
+    let partials = Array.make nchunks None in
+    run_tasks pool nchunks (fun c ->
+        (* contiguous chunk [lo, hi); non-empty since nchunks <= n *)
+        let lo = c * n / nchunks and hi = (c + 1) * n / nchunks in
+        let acc = ref arr.(lo) in
+        for i = lo + 1 to hi - 1 do
+          acc := f !acc arr.(i)
+        done;
+        partials.(c) <- Some !acc);
+    Array.fold_left (fun acc p -> f acc (unwrap p)) init partials
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Array combinators                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Arr = struct
+  let init pool n f =
+    let out = Array.make n None in
+    run_tasks pool n (fun i -> out.(i) <- Some (f i));
+    Array.map unwrap out
+
+  let map = map_array
+
+  let filter_map pool f arr =
+    let opts = map_array pool f arr in
+    let kept = ref [] in
+    for i = Array.length opts - 1 downto 0 do
+      match opts.(i) with Some v -> kept := v :: !kept | None -> ()
+    done;
+    Array.of_list !kept
+
+  let concat_map pool f arr =
+    Array.concat (Array.to_list (map_array pool f arr))
+end

@@ -1,0 +1,76 @@
+(** Dependency-free parallel runtime on OCaml 5 domains.
+
+    In the same spirit as {!Obs}: standard library only, and zero cost
+    when unused — code that never asks for parallelism never spawns a
+    domain, and a pool of size 1 runs everything sequentially on the
+    calling domain, so [jobs:1] is indistinguishable from not using
+    this module at all.
+
+    The combinators make one promise that matters more than speed:
+    {e parallelism never changes results}.  Work is handed to domains
+    in chunks through an atomic index, but every result lands in the
+    slot of its input, so [map pool f l] equals [List.map f l]
+    whatever the interleaving; [filter_map] / [concat_map] flatten in
+    input order; [reduce] combines contiguous chunks left-to-right, so
+    it equals [List.fold_left] whenever the operator is associative.
+    If tasks raise, the exception of the {e lowest-indexed} failing
+    input is re-raised (with its backtrace) after all workers drain —
+    again independent of scheduling.
+
+    Observability composes: each worker slot runs its tasks under
+    {!Obs.Worker.capture}, and the snapshots are merged into the
+    calling domain's registry in slot order at join.  Counter and
+    histogram totals therefore match a sequential run, and every span
+    recorded inside a task carries a [("worker", <slot>)] arg.
+
+    Pools are coordinated from one domain at a time: do not share a
+    pool between concurrent orchestrators, and do not call a
+    combinator from inside a task running on the same pool. *)
+
+module Pool : sig
+  type t
+  (** A fixed-size set of worker domains plus the calling domain.
+      Workers are spawned lazily on the first parallel operation and
+      block on a condition variable between operations, so an idle
+      pool costs nothing but memory. *)
+
+  val create : ?jobs:int -> unit -> t
+  (** [create ~jobs ()] — a pool executing every operation on [jobs]
+      domains: the caller plus [jobs - 1] spawned workers.  Defaults
+      to [Domain.recommended_domain_count ()]; values [< 1] are
+      clamped to 1, and a 1-job pool never spawns anything. *)
+
+  val jobs : t -> int
+
+  val shutdown : t -> unit
+  (** Stop and join the worker domains.  Idempotent.  Using the pool
+      afterwards raises [Invalid_argument]. *)
+
+  val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+  (** [with_pool ~jobs f] — [create], run [f], always [shutdown]. *)
+end
+
+(** {1 List combinators} *)
+
+val map : Pool.t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f l = List.map f l], with the applications of [f]
+    distributed over the pool's domains. *)
+
+val filter_map : Pool.t -> ('a -> 'b option) -> 'a list -> 'b list
+val concat_map : Pool.t -> ('a -> 'b list) -> 'a list -> 'b list
+
+val reduce : Pool.t -> ('a -> 'a -> 'a) -> 'a -> 'a list -> 'a
+(** [reduce pool f init l = List.fold_left f init l] {e provided [f]
+    is associative}: the list is cut into contiguous chunks, each
+    chunk is folded on some domain, and the partial results are
+    combined left-to-right in chunk order.  A non-associative [f]
+    gives a well-defined but chunk-dependent answer — don't. *)
+
+(** {1 Array combinators} *)
+
+module Arr : sig
+  val init : Pool.t -> int -> (int -> 'a) -> 'a array
+  val map : Pool.t -> ('a -> 'b) -> 'a array -> 'b array
+  val filter_map : Pool.t -> ('a -> 'b option) -> 'a array -> 'b array
+  val concat_map : Pool.t -> ('a -> 'b array) -> 'a array -> 'b array
+end

@@ -72,7 +72,7 @@ let test_decompose_three () =
 
 let test_decompose_four () =
   (* found by exhaustive search: requires four factors *)
-  let h = Search.factor_histogram ~bound:4 in
+  let h = Search.factor_histogram ~bound:4 () in
   Alcotest.(check int) "all small matrices <= 4 factors" 0 h.Search.beyond_four;
   Alcotest.(check bool) "some need exactly 4" true (h.Search.by_factors.(4) > 0)
 
@@ -240,7 +240,7 @@ let gendet_props =
 (* ------------------------------------------------------------------ *)
 
 let test_search_histogram () =
-  let h = Search.factor_histogram ~bound:3 in
+  let h = Search.factor_histogram ~bound:3 () in
   (* identity is the only 0-factor matrix *)
   Alcotest.(check int) "one identity" 1 h.Search.by_factors.(0);
   Alcotest.(check int) "none beyond four" 0 h.Search.beyond_four;
@@ -249,7 +249,7 @@ let test_search_histogram () =
     h.Search.total
 
 let test_search_similarity () =
-  let total, suff, srch = Search.similarity_histogram ~bound:2 ~conj_bound:2 in
+  let total, suff, srch = Search.similarity_histogram ~bound:2 ~conj_bound:2 () in
   Alcotest.(check bool) "search at least as strong as sufficient" true (srch >= suff);
   Alcotest.(check bool) "not everything is similar to LU" true (srch < total)
 

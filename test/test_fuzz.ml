@@ -51,4 +51,36 @@ let fuzz_props =
           = List.length (Nestir.Loopnest.all_accesses nest));
   ]
 
-let () = Alcotest.run "fuzz" [ ("pipeline", fuzz_props) ]
+(* Generator fan-out: the same random nests, produced and optimized
+   across domains through Par, must agree with the sequential run in
+   every observable — parallelism may change wall-clock only. *)
+let par_props =
+  let nest_seeds seed k = List.init k (fun i -> seed + (i * 7919)) in
+  [
+    prop ~count:15 "parallel nest generation matches sequential" arb_seed
+      (fun seed ->
+        let seeds = nest_seeds seed 24 in
+        let print s = Nestir.Dsl.print (Nestir.Gennest.generate ~seed:s) in
+        let sequential = List.map print seeds in
+        Par.Pool.with_pool ~jobs:4 (fun pool ->
+            Par.map pool print seeds = sequential));
+    prop ~count:8 "parallel pipeline verdicts match sequential" arb_seed
+      (fun seed ->
+        let seeds = nest_seeds (seed + 5_000_000) 12 in
+        let verdict s =
+          let nest = Nestir.Gennest.generate ~seed:s in
+          match Resopt.Pipeline.run ~m:2 nest with
+          | exception Failure _ -> None
+          | r ->
+            Some
+              ( Resopt.Pipeline.non_local r,
+                Resopt.Validate.is_valid r,
+                List.length r.Resopt.Pipeline.plan )
+        in
+        let sequential = List.map verdict seeds in
+        Par.Pool.with_pool ~jobs:4 (fun pool ->
+            Par.map pool verdict seeds = sequential));
+  ]
+
+let () =
+  Alcotest.run "fuzz" [ ("pipeline", fuzz_props); ("parallel", par_props) ]

@@ -1,0 +1,272 @@
+(* The parallel runtime: combinator results equal their sequential
+   counterparts (whatever the jobs count), determinism of input order,
+   exception propagation, pool lifecycle, and the Obs merge
+   contract. *)
+
+let with_pool jobs f = Par.Pool.with_pool ~jobs f
+
+(* ------------------------------------------------------------------ *)
+(* Combinators vs. their sequential counterparts                       *)
+(* ------------------------------------------------------------------ *)
+
+let inputs = [ []; [ 42 ]; [ 1; 2 ]; List.init 100 (fun i -> i - 50) ]
+
+let test_map_equals_sequential () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs @@ fun pool ->
+      List.iter
+        (fun l ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "map jobs:%d n:%d" jobs (List.length l))
+            (List.map (fun x -> (x * x) + 1) l)
+            (Par.map pool (fun x -> (x * x) + 1) l))
+        inputs)
+    [ 1; 2; 8 ]
+
+let test_filter_map_equals_sequential () =
+  let f x = if x mod 3 = 0 then Some (x / 3) else None in
+  List.iter
+    (fun l ->
+      with_pool 4 @@ fun pool ->
+      Alcotest.(check (list int))
+        "filter_map" (List.filter_map f l) (Par.filter_map pool f l))
+    inputs
+
+let test_concat_map_equals_sequential () =
+  let f x = List.init (abs x mod 3) (fun i -> (x * 10) + i) in
+  List.iter
+    (fun l ->
+      with_pool 4 @@ fun pool ->
+      Alcotest.(check (list int))
+        "concat_map" (List.concat_map f l) (Par.concat_map pool f l))
+    inputs
+
+let test_reduce_equals_fold () =
+  (* (+) and a non-commutative but associative operation *)
+  List.iter
+    (fun l ->
+      with_pool 4 @@ fun pool ->
+      Alcotest.(check int) "reduce (+)" (List.fold_left ( + ) 0 l)
+        (Par.reduce pool ( + ) 0 l))
+    inputs;
+  let concat = List.map string_of_int (List.init 57 Fun.id) in
+  with_pool 4 @@ fun pool ->
+  Alcotest.(check string)
+    "reduce (^) keeps chunk order"
+    (List.fold_left ( ^ ) "" concat)
+    (Par.reduce pool ( ^ ) "" concat)
+
+let test_array_combinators () =
+  with_pool 4 @@ fun pool ->
+  let a = Array.init 41 (fun i -> i - 20) in
+  Alcotest.(check (array int))
+    "Arr.map" (Array.map succ a) (Par.Arr.map pool succ a);
+  Alcotest.(check (array int))
+    "Arr.init" (Array.init 23 (fun i -> i * i))
+    (Par.Arr.init pool 23 (fun i -> i * i));
+  let f x = if x land 1 = 0 then Some (-x) else None in
+  let seq_fm =
+    Array.of_list (List.filter_map f (Array.to_list a))
+  in
+  Alcotest.(check (array int)) "Arr.filter_map" seq_fm (Par.Arr.filter_map pool f a);
+  let g x = Array.make (abs x mod 3) x in
+  let seq_cm = Array.concat (Array.to_list (Array.map g a)) in
+  Alcotest.(check (array int)) "Arr.concat_map" seq_cm (Par.Arr.concat_map pool g a);
+  Alcotest.(check (array int)) "Arr.map empty" [||] (Par.Arr.map pool succ [||])
+
+(* ------------------------------------------------------------------ *)
+(* Input-order determinism under deliberate imbalance                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_order_determinism () =
+  (* early items take much longer than late ones, so with 8 domains the
+     completion order is scrambled; the result order must not be *)
+  let n = 64 in
+  let work i =
+    let spin = (n - i) * 2000 in
+    let acc = ref 0 in
+    for k = 1 to spin do
+      acc := (!acc + k) mod 9973
+    done;
+    (i, !acc land 0)
+  in
+  let expected = List.init n (fun i -> (i, 0)) in
+  with_pool 8 @@ fun pool ->
+  for _ = 1 to 3 do
+    Alcotest.(check (list (pair int int)))
+      "order" expected
+      (Par.map pool work (List.init n Fun.id))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Exceptions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  with_pool 4 @@ fun pool ->
+  (match
+     Par.map pool
+       (fun i -> if i = 50 then raise (Boom i) else i)
+       (List.init 100 Fun.id)
+   with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom 50 -> ());
+  (* two failing tasks: the lowest input index wins, whatever the
+     scheduling *)
+  match
+    Par.map pool
+      (fun i -> if i = 30 || i = 60 then raise (Boom i) else i)
+      (List.init 100 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom i -> Alcotest.(check int) "lowest failing index" 30 i
+
+let test_pool_survives_exception () =
+  with_pool 4 @@ fun pool ->
+  (try ignore (Par.map pool (fun _ -> failwith "boom") [ 1; 2; 3 ])
+   with Failure _ -> ());
+  Alcotest.(check (list int))
+    "pool still works" [ 2; 4; 6 ]
+    (Par.map pool (fun x -> 2 * x) [ 1; 2; 3 ])
+
+(* ------------------------------------------------------------------ *)
+(* Pool lifecycle                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_reuse () =
+  let pool = Par.Pool.create ~jobs:4 () in
+  Alcotest.(check int) "jobs" 4 (Par.Pool.jobs pool);
+  for round = 1 to 5 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "round %d" round)
+      (List.init 30 (fun i -> i * round))
+      (Par.map pool (fun i -> i * round) (List.init 30 Fun.id))
+  done;
+  Par.Pool.shutdown pool;
+  Par.Pool.shutdown pool (* idempotent *);
+  match Par.map pool Fun.id [ 1 ] with
+  | _ -> Alcotest.fail "expected Invalid_argument after shutdown"
+  | exception Invalid_argument _ -> ()
+
+let test_oversubscription () =
+  (* many more domains than items (and than cores) *)
+  with_pool 8 @@ fun pool ->
+  Alcotest.(check (list int)) "8 jobs, 3 items" [ 1; 4; 9 ]
+    (Par.map pool (fun x -> x * x) [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "8 jobs, 1 item" [ 7 ] (Par.map pool Fun.id [ 7 ]);
+  Alcotest.(check (list int)) "8 jobs, 0 items" [] (Par.map pool Fun.id [])
+
+let test_jobs_clamped () =
+  with_pool 0 @@ fun pool ->
+  Alcotest.(check int) "jobs >= 1" 1 (Par.Pool.jobs pool);
+  Alcotest.(check (list int)) "sequential pool works" [ 1; 2 ]
+    (Par.map pool Fun.id [ 1; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Obs isolation and merge                                             *)
+(* ------------------------------------------------------------------ *)
+
+let obs_setup () =
+  Obs.set_clock (fun () -> 0.0);
+  Obs.enable ();
+  Obs.reset ()
+
+let obs_teardown () =
+  Obs.reset ();
+  Obs.disable ();
+  Obs.set_clock Sys.time
+
+let test_obs_counters_merge () =
+  obs_setup ();
+  let n = 40 in
+  let task i =
+    Obs.incr "par.test.tasks";
+    Obs.incr ~by:i "par.test.weight";
+    Obs.observe "par.test.histo" (float_of_int i)
+  in
+  (* sequential reference *)
+  List.iter task (List.init n Fun.id);
+  let seq_tasks = Obs.counter "par.test.tasks" in
+  let seq_weight = Obs.counter "par.test.weight" in
+  let seq_histo = Option.get (Obs.histogram "par.test.histo") in
+  Obs.reset ();
+  (with_pool 4 @@ fun pool -> ignore (Par.map pool task (List.init n Fun.id)));
+  Alcotest.(check int) "counter equals sequential" seq_tasks
+    (Obs.counter "par.test.tasks");
+  Alcotest.(check int) "weighted counter equals sequential" seq_weight
+    (Obs.counter "par.test.weight");
+  let h = Option.get (Obs.histogram "par.test.histo") in
+  Alcotest.(check int) "histogram count" seq_histo.Obs.count h.Obs.count;
+  Alcotest.(check (float 1e-9)) "histogram sum" seq_histo.Obs.sum h.Obs.sum;
+  Alcotest.(check (float 1e-9)) "histogram min" seq_histo.Obs.min_v h.Obs.min_v;
+  Alcotest.(check (float 1e-9)) "histogram max" seq_histo.Obs.max_v h.Obs.max_v;
+  obs_teardown ()
+
+let test_obs_spans_gain_worker_arg () =
+  obs_setup ();
+  (with_pool 4 @@ fun pool ->
+   ignore
+     (Par.map pool
+        (fun i -> Obs.with_span "par.test.span" (fun () -> i))
+        (List.init 12 Fun.id)));
+  let spans =
+    List.filter (fun s -> s.Obs.span_name = "par.test.span") (Obs.spans ())
+  in
+  Alcotest.(check int) "every task span merged" 12 (List.length spans);
+  List.iter
+    (fun s ->
+      match List.assoc_opt "worker" s.Obs.args with
+      | Some _ -> ()
+      | None -> Alcotest.fail "span lacks worker arg")
+    spans;
+  obs_teardown ()
+
+let test_obs_disabled_stays_silent () =
+  Obs.reset ();
+  Obs.disable ();
+  (with_pool 4 @@ fun pool ->
+   ignore (Par.map pool (fun i -> Obs.incr "par.test.silent"; i) (List.init 8 Fun.id)));
+  Alcotest.(check int) "nothing recorded when disabled" 0
+    (Obs.counter "par.test.silent")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "combinators",
+        [
+          Alcotest.test_case "map = List.map" `Quick test_map_equals_sequential;
+          Alcotest.test_case "filter_map" `Quick test_filter_map_equals_sequential;
+          Alcotest.test_case "concat_map" `Quick test_concat_map_equals_sequential;
+          Alcotest.test_case "reduce = fold_left" `Quick test_reduce_equals_fold;
+          Alcotest.test_case "array combinators" `Quick test_array_combinators;
+          Alcotest.test_case "input-order determinism" `Quick
+            test_order_determinism;
+        ] );
+      ( "exceptions",
+        [
+          Alcotest.test_case "propagation, lowest index" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "pool survives a failure" `Quick
+            test_pool_survives_exception;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "reuse across maps, shutdown" `Quick test_pool_reuse;
+          Alcotest.test_case "oversubscription" `Quick test_oversubscription;
+          Alcotest.test_case "jobs clamped to >= 1" `Quick test_jobs_clamped;
+        ] );
+      ( "obs",
+        [
+          Alcotest.test_case "counters and histograms merge" `Quick
+            test_obs_counters_merge;
+          Alcotest.test_case "spans gain the worker arg" `Quick
+            test_obs_spans_gain_worker_arg;
+          Alcotest.test_case "disabled stays silent" `Quick
+            test_obs_disabled_stays_silent;
+        ] );
+    ]
