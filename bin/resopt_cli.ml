@@ -6,6 +6,10 @@
      resopt-cli graph example1 [-m 2]
      resopt-cli sweep [--jobs 4] [--ms 1,2,3] [--csv FILE]
      resopt-cli simulate [-k 3] [--layout grouped|block|cyclic]
+     resopt-cli chaos [-n 25] [--seed 0] [--jobs 4]
+
+   The commands that price or simulate communications also take
+   --faults SPEC --seed N to run on an imperfect machine.
 *)
 
 open Cmdliner
@@ -54,6 +58,40 @@ let with_obs (trace, stats) f =
     v
   end
 
+(* --faults SPEC / --seed N: shared fault-injection flags.  Without
+   --faults the value is [None] and every command's output is
+   byte-identical to a build without the fault subsystem. *)
+
+let faults_term =
+  let spec_arg =
+    let doc =
+      "Run on an imperfect machine described by $(docv): items joined \
+       by ';' among $(b,flaky:P), $(b,flaky:A-B:P), $(b,down:A-B), \
+       $(b,down:A-B:F-T), $(b,degrade:F), $(b,degrade:A-B:F) and \
+       $(b,dead:R) — e.g. $(b,flaky:0.05;down:3-4;dead:7)."
+    in
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Seed of the fault schedule: the same seed and $(b,--faults) \
+       spec reproduce the same drops and the same results, at any \
+       $(b,--jobs) level."
+    in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let build spec seed =
+    match spec with
+    | None -> None
+    | Some s -> (
+      match Machine.Fault.parse s with
+      | Ok specs -> Some (Machine.Fault.make ~seed specs)
+      | Error e ->
+        Format.eprintf "bad --faults spec: %s@." e;
+        exit 1)
+  in
+  Term.(const build $ spec_arg $ seed_arg)
+
 let list_cmd =
   let doc = "List the available workloads." in
   let run () =
@@ -86,13 +124,39 @@ let run_cmd =
     let doc = "Baseline to run instead: $(b,platonoff) or $(b,feautrier)." in
     Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"NAME" ~doc)
   in
-  let run name m baseline obs =
+  let resilience_block w m (r : Resopt.Pipeline.result) faults =
+    (* the same comparison Sweep runs per row: does the optimized plan
+       keep its lead over the step-1-only baseline once the machine is
+       imperfect? *)
+    let base =
+      Resopt.Feautrier.run ~m ~schedule:w.Resopt.Workloads.schedule
+        w.Resopt.Workloads.nest
+    in
+    Format.printf "@.resilience under %a:@." Machine.Fault.pp faults;
+    Format.printf "  %-8s %12s %12s %8s %12s %12s %8s@." "model" "optimized"
+      "baseline" "gain" "opt+fault" "base+fault" "gain+f";
+    List.iter
+      (fun model ->
+        let price ?faults plan =
+          (Resopt.Cost.of_plan ?faults model plan).Resopt.Cost.total
+        in
+        let o = price r.Resopt.Pipeline.plan
+        and b = price base.Resopt.Feautrier.plan
+        and fo = price ~faults r.Resopt.Pipeline.plan
+        and fb = price ~faults base.Resopt.Feautrier.plan in
+        let gain num den = if den > 0.0 then num /. den else Float.infinity in
+        Format.printf "  %-8s %12.1f %12.1f %7.2fx %12.1f %12.1f %7.2fx@."
+          model.Machine.Models.name o b (gain b o) fo fb (gain fb fo))
+      [ Machine.Models.cm5 (); Machine.Models.paragon (); Machine.Models.t3d () ]
+  in
+  let run name m baseline faults obs =
     let w = find_workload name in
     with_obs obs @@ fun () ->
     match baseline with
     | None ->
       let r = Resopt.Pipeline.run ~m ~schedule:w.Resopt.Workloads.schedule w.Resopt.Workloads.nest in
-      Format.printf "%a@." Resopt.Pipeline.pp r
+      Format.printf "%a@." Resopt.Pipeline.pp r;
+      Option.iter (resilience_block w m r) faults
     | Some "platonoff" ->
       let r =
         Resopt.Platonoff.run ~m ~schedule:w.Resopt.Workloads.schedule
@@ -112,7 +176,7 @@ let run_cmd =
       exit 1
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ workload_arg $ m_arg $ baseline_arg $ obs_term)
+    Term.(const run $ workload_arg $ m_arg $ baseline_arg $ faults_term $ obs_term)
 
 let graph_cmd =
   let doc = "Print the access graph of a workload." in
@@ -266,6 +330,125 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc) Term.(const run $ count_arg $ seed_arg $ jobs_arg)
 
+let chaos_cmd =
+  let doc =
+    "Chaos-test the event simulator: run real communication patterns \
+     under random seeded fault schedules, checking termination, the \
+     delivery invariant (delivered + dropped + unreachable = total) \
+     and per-seed determinism."
+  in
+  let count_arg =
+    Arg.(value & opt int 25 & info [ "n" ] ~docv:"COUNT" ~doc:"Number of trials.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed.")
+  in
+  let run count seed jobs obs =
+    with_obs obs @@ fun () ->
+    let par = Machine.Models.paragon () in
+    let topo = par.Machine.Models.topo in
+    let vgrid = [| 16; 8 |] in
+    let layout = Distrib.Layout.all_cyclic 2 in
+    let place v = Distrib.Layout.place layout ~vgrid ~topo v in
+    (* traffic: the 2x2 data flows of the optimized workload plans,
+       falling back to the paper's T when a plan has none *)
+    let flows =
+      let of_plan plan =
+        List.filter_map
+          (fun (e : Resopt.Commplan.entry) ->
+            match e.Resopt.Commplan.classification with
+            | Resopt.Commplan.General (Some f)
+            | Resopt.Commplan.Decomposed { flow = f; _ }
+              when Linalg.Mat.rows f = 2 && Linalg.Mat.cols f = 2 ->
+              Some f
+            | _ -> None)
+          plan
+      in
+      let all =
+        List.concat_map
+          (fun (w : Resopt.Workloads.t) ->
+            match
+              Resopt.Pipeline.run ~m:2 ~schedule:w.Resopt.Workloads.schedule
+                w.Resopt.Workloads.nest
+            with
+            | r -> of_plan r.Resopt.Pipeline.plan
+            | exception _ -> [])
+          (Resopt.Workloads.all ())
+      in
+      if all = [] then [ Linalg.Mat.of_lists [ [ 1; 2 ]; [ 3; 7 ] ] ] else all
+    in
+    let msgs =
+      Array.of_list
+        (List.map
+           (fun flow ->
+             Machine.Patterns.affine_messages ~vgrid ~flow ~bytes:8 ~place ())
+           flows)
+    in
+    let trial i =
+      let rng = Machine.Fault.Rng.make (seed + i) in
+      let specs = Machine.Fault.random_specs rng topo in
+      let faults = Machine.Fault.make ~seed:(seed + i) specs in
+      let m = msgs.(i mod Array.length msgs) in
+      let run () = Machine.Eventsim.run ~faults topo Machine.Eventsim.default_params m in
+      let r = run () in
+      let total = List.length m in
+      let invariant =
+        r.Machine.Eventsim.delivered + r.Machine.Eventsim.dropped
+        + r.Machine.Eventsim.unreachable
+        = total
+      in
+      (* same seed, same schedule, same result — twice over *)
+      (i, Machine.Fault.to_string specs, r, run () = r, invariant)
+    in
+    let idx = List.init count Fun.id in
+    let results =
+      try
+        match jobs with
+        | None -> List.map trial idx
+        | Some j ->
+          (* the fan-out itself is part of the determinism check: the
+             parallel trials must reproduce the sequential ones *)
+          let fanned =
+            Par.Pool.with_pool ~jobs:j (fun pool -> Par.map pool trial idx)
+          in
+          if fanned <> List.map trial idx then begin
+            Format.eprintf "chaos: --jobs %d results differ from sequential@." j;
+            exit 1
+          end;
+          fanned
+      with Machine.Eventsim.Deadlock { cycles; in_flight } ->
+        Format.eprintf
+          "chaos: simulation deadlocked after %d cycles with %d packets in \
+           flight@."
+          cycles in_flight;
+        exit 2
+    in
+    let failed = ref 0 in
+    List.iter
+      (fun (i, spec, (r : Machine.Eventsim.result), deterministic, invariant) ->
+        let spec = if spec = "" then "(no faults)" else spec in
+        Format.printf
+          "trial %3d  %-40s cycles %7d  delivered %3d  dropped %2d  \
+           unreachable %2d  retransmits %3d@."
+          i spec r.Machine.Eventsim.cycles r.Machine.Eventsim.delivered
+          r.Machine.Eventsim.dropped r.Machine.Eventsim.unreachable
+          r.Machine.Eventsim.retransmits;
+        if not deterministic then begin
+          incr failed;
+          Format.printf "  NONDETERMINISTIC: two runs of seed %d differ@." (seed + i)
+        end;
+        if not invariant then begin
+          incr failed;
+          Format.printf
+            "  INVARIANT VIOLATED: delivered + dropped + unreachable <> total@."
+        end)
+      results;
+    Format.printf "chaos: %d trials, %d failures@." count !failed;
+    if !failed > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ count_arg $ seed_arg $ jobs_arg $ obs_term)
+
 let sweep_cmd =
   let doc =
     "Sweep every workload x machine model (x grid dimension), pricing \
@@ -282,9 +465,12 @@ let sweep_cmd =
     in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
   in
-  let run jobs ms csv obs =
+  let run jobs ms csv faults obs =
     with_obs obs @@ fun () ->
-    let rows = Resopt.Sweep.run ?jobs ~ms () in
+    (* --faults adds the resilience columns (gain re-priced at the
+       default fault rates on top of the given spec); without it the
+       table and CSV are unchanged *)
+    let rows = Resopt.Sweep.run ?jobs ~ms ?faults () in
     Resopt.Sweep.pp_table Format.std_formatter rows;
     match csv with
     | None -> ()
@@ -293,7 +479,7 @@ let sweep_cmd =
       Format.eprintf "csv written to %s@." file
   in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const run $ jobs_arg $ ms_arg $ csv_arg $ obs_term)
+    Term.(const run $ jobs_arg $ ms_arg $ csv_arg $ faults_term $ obs_term)
 
 let report_cmd =
   let doc = "Full markdown report: plan, validation, costs, directives." in
@@ -320,7 +506,7 @@ let simulate_cmd =
     let doc = "Distribution: $(b,grouped), $(b,block), $(b,cyclic) or $(b,cyclicb)." in
     Arg.(value & opt string "grouped" & info [ "layout" ] ~docv:"SCHEME" ~doc)
   in
-  let run k layout obs =
+  let run k layout faults obs =
     let scheme =
       match layout with
       | "grouped" -> Distrib.Layout.Grouped (max 1 k)
@@ -337,16 +523,17 @@ let simulate_cmd =
     let stats =
       Obs.with_span "simulate" ~args:[ ("k", string_of_int k); ("layout", layout) ]
       @@ fun () ->
-      Distrib.Foldsim.time par
+      Distrib.Foldsim.time ?faults par
         ~layout:[| scheme; Distrib.Layout.Block |]
         ~vgrid:[| 840; 8 |] ~flow:uk ()
     in
     Format.printf "U_%d under %a x BLOCK on 16x4 mesh: %a@." k
       Distrib.Layout.pp_scheme scheme Machine.Netsim.pp_stats stats
   in
-  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ k_arg $ layout_arg $ obs_term)
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ k_arg $ layout_arg $ faults_term $ obs_term)
 
 let () =
   let doc = "Optimize residual communications of affine loop nests (Dion, Randriamaro, Robert 1996)." in
   let info = Cmd.info "resopt-cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; graph_cmd; codegen_cmd; parse_cmd; compile_cmd; report_cmd; fuzz_cmd; autodim_cmd; spmd_cmd; simulate_cmd; sweep_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; graph_cmd; codegen_cmd; parse_cmd; compile_cmd; report_cmd; fuzz_cmd; autodim_cmd; spmd_cmd; simulate_cmd; sweep_cmd; chaos_cmd ]))

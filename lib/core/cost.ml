@@ -17,10 +17,10 @@ let sim_vgrid (model : Machine.Models.t) =
     Some [| 4 * Machine.Topology.dim topo 0; 4 * Machine.Topology.dim topo 1 |]
   else None
 
-let general_cost model ~bytes flow =
+let general_cost ~faults model ~bytes flow =
   match (flow, sim_vgrid model) with
   | Some flow, Some vgrid when Mat.rows flow = 2 && Mat.cols flow = 2 ->
-    (Distrib.Foldsim.time ~coalesce:false model
+    (Distrib.Foldsim.time ~coalesce:false ~faults model
        ~layout:(Distrib.Layout.all_cyclic 2) ~vgrid ~flow ~bytes ())
       .Machine.Netsim.time
   | _ ->
@@ -29,13 +29,14 @@ let general_cost model ~bytes flow =
        communication primitive or a decomposition replaces *)
     let n = Machine.Topology.size model.Machine.Models.topo in
     let net = model.Machine.Models.net in
-    (float_of_int (n - 1)
-    *. (net.Machine.Netsim.alpha +. (net.Machine.Netsim.beta *. float_of_int bytes))
-    )
-    +. (net.Machine.Netsim.hop
-       *. float_of_int (Machine.Topology.diameter model.Machine.Models.topo))
+    Machine.Fault.uniform_slowdown faults
+    *. ((float_of_int (n - 1)
+        *. (net.Machine.Netsim.alpha +. (net.Machine.Netsim.beta *. float_of_int bytes))
+        )
+       +. (net.Machine.Netsim.hop
+          *. float_of_int (Machine.Topology.diameter model.Machine.Models.topo)))
 
-let decomposed_cost model ~bytes ~flow factors =
+let decomposed_cost ~faults model ~bytes ~flow factors =
   let phases =
     match sim_vgrid model with
     | Some vgrid
@@ -49,38 +50,45 @@ let decomposed_cost model ~bytes ~flow factors =
       in
       let layout = [| Distrib.Layout.Grouped k; Distrib.Layout.Grouped k |] in
       Distrib.Foldsim.total_time
-        (Distrib.Foldsim.decomposed_time model ~layout ~vgrid ~factors ~bytes ())
+        (Distrib.Foldsim.decomposed_time ~faults model ~layout ~vgrid ~factors ~bytes ())
     | _ ->
       (* fall back: one conflict-free axis communication per factor *)
-      float_of_int (List.length factors)
+      Machine.Fault.uniform_slowdown faults
+      *. float_of_int (List.length factors)
       *. Machine.Models.translation_time model ~bytes
   in
   (* the runtime keeps whichever implementation is cheaper; a
      decomposition never has to be used when the direct path wins *)
-  let direct = general_cost model ~bytes (Some flow) in
+  let direct = general_cost ~faults model ~bytes (Some flow) in
   min phases direct
 
-let entry_cost model ~bytes (e : Commplan.entry) =
+(* Collectives and translations are priced closed-form; under faults
+   they degrade by the machine-wide slowdown (expected retransmissions
+   over the global flaky probability / remaining bandwidth). *)
+let entry_cost ~faults model ~bytes (e : Commplan.entry) =
+  let degrade c = Machine.Fault.uniform_slowdown faults *. c in
   match e.Commplan.classification with
   | Commplan.Local -> 0.0
-  | Commplan.Translation _ -> Machine.Models.translation_time model ~bytes
-  | Commplan.Reduction _ -> Machine.Models.reduce_time model ~bytes
+  | Commplan.Translation _ -> degrade (Machine.Models.translation_time model ~bytes)
+  | Commplan.Reduction _ -> degrade (Machine.Models.reduce_time model ~bytes)
   | Commplan.Broadcast info ->
-    (match info.Macrocomm.Broadcast.classification with
-    | Macrocomm.Broadcast.Total | Macrocomm.Broadcast.Hidden ->
-      Machine.Models.broadcast_time model ~bytes
-    | Macrocomm.Broadcast.Partial -> (
-      match model.Machine.Models.hw with
-      | Some _ -> Machine.Models.broadcast_time model ~bytes
-      | None ->
-        Machine.Collective.partial_broadcast model.Machine.Models.topo
-          model.Machine.Models.net ~axis:0 ~bytes))
-  | Commplan.Scatter _ -> Machine.Models.scatter_time model ~bytes
-  | Commplan.Gather _ -> Machine.Models.gather_time model ~bytes
-  | Commplan.Decomposed { factors; flow } -> decomposed_cost model ~bytes ~flow factors
-  | Commplan.General flow -> general_cost model ~bytes flow
+    degrade
+      (match info.Macrocomm.Broadcast.classification with
+      | Macrocomm.Broadcast.Total | Macrocomm.Broadcast.Hidden ->
+        Machine.Models.broadcast_time model ~bytes
+      | Macrocomm.Broadcast.Partial -> (
+        match model.Machine.Models.hw with
+        | Some _ -> Machine.Models.broadcast_time model ~bytes
+        | None ->
+          Machine.Collective.partial_broadcast model.Machine.Models.topo
+            model.Machine.Models.net ~axis:0 ~bytes))
+  | Commplan.Scatter _ -> degrade (Machine.Models.scatter_time model ~bytes)
+  | Commplan.Gather _ -> degrade (Machine.Models.gather_time model ~bytes)
+  | Commplan.Decomposed { factors; flow } ->
+    decomposed_cost ~faults model ~bytes ~flow factors
+  | Commplan.General flow -> general_cost ~faults model ~bytes flow
 
-let of_plan ?(bytes = 64) model plan =
+let of_plan ?(bytes = 64) ?(faults = Machine.Fault.none) model plan =
   let entries =
     List.map
       (fun (e : Commplan.entry) ->
@@ -88,7 +96,7 @@ let of_plan ?(bytes = 64) model plan =
           stmt = e.Commplan.stmt;
           label = e.Commplan.label;
           class_name = Commplan.classification_name e.Commplan.classification;
-          cost = entry_cost model ~bytes e;
+          cost = entry_cost ~faults model ~bytes e;
         })
       plan
   in

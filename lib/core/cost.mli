@@ -17,7 +17,18 @@ type entry_cost = {
 
 type breakdown = { entries : entry_cost list; total : float }
 
-val of_plan : ?bytes:int -> Machine.Models.t -> Commplan.t -> breakdown
-(** [bytes] is the item size (default 64). *)
+val of_plan :
+  ?bytes:int -> ?faults:Machine.Fault.t -> Machine.Models.t -> Commplan.t -> breakdown
+(** [bytes] is the item size (default 64).
+
+    [faults] (default {!Machine.Fault.none}, zero-cost) prices the
+    plan on the degraded machine: simulated entries (decomposed and
+    2x2 general flows) go through {!Machine.Netsim}'s
+    degraded-capacity model, detours and all; closed-form entries
+    (collectives, translations, the non-square fallback) scale by
+    {!Machine.Fault.uniform_slowdown}.  Comparing a plan's price with
+    and without faults — or the optimized plan against the baseline
+    under the same faults — is how mapping {e resilience} is
+    measured ({!Sweep}). *)
 
 val pp : Format.formatter -> breakdown -> unit

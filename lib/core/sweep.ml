@@ -8,7 +8,18 @@ type row = {
   validated : bool;
   time_ms : float;
   cost_ms : float;
+  resilience : (float * float) list;
 }
+
+(* The fault model priced at one resilience rate: the caller's base
+   specs plus a machine-wide flaky probability. *)
+let faults_at base rate =
+  let specs = Machine.Fault.specs base in
+  let specs =
+    if rate > 0.0 then specs @ [ Machine.Fault.Flaky { link = None; prob = rate } ]
+    else specs
+  in
+  Machine.Fault.make ~seed:(Machine.Fault.seed base) specs
 
 (* One (workload, m) cell: run the optimizer and the baseline once,
    then price the resulting plans on every machine model.  The
@@ -16,7 +27,7 @@ type row = {
    [sweep.time_ms] histogram — stamping the same measurement into
    every model row used to triple-count it; per-model pricing gets its
    own clock ([cost_ms] / [sweep.cost_ms]). *)
-let eval_cell models (w : Workloads.t) m =
+let eval_cell models fault_rates (w : Workloads.t) m =
   match
     Obs.time_ms (fun () ->
         ( Pipeline.run ~m ~schedule:w.Workloads.schedule w.Workloads.nest,
@@ -44,6 +55,17 @@ let eval_cell models (w : Workloads.t) m =
               ( (Cost.of_plan model opt.Pipeline.plan).Cost.total,
                 (Cost.of_plan model base.Feautrier.plan).Cost.total ))
         in
+        (* resilience: does the optimized plan keep its lead on an
+           imperfect machine?  gain = baseline / optimized, both
+           priced under the same fault model *)
+        let resilience =
+          List.map
+            (fun (rate, faults) ->
+              let o = (Cost.of_plan ~faults model opt.Pipeline.plan).Cost.total in
+              let b = (Cost.of_plan ~faults model base.Feautrier.plan).Cost.total in
+              (rate, if o > 0.0 then b /. o else 0.0))
+            fault_rates
+        in
         let row =
           {
             workload = w.Workloads.name;
@@ -55,6 +77,7 @@ let eval_cell models (w : Workloads.t) m =
             validated;
             time_ms = elapsed_ms;
             cost_ms;
+            resilience;
           }
         in
         (* counter snapshot of the cell, for `--stats` and the
@@ -67,17 +90,27 @@ let eval_cell models (w : Workloads.t) m =
         row)
       models
 
-let run ?jobs ?(ms = [ 2 ]) ?models ?workloads () =
+let default_fault_rates = [ 0.0; 0.01; 0.05 ]
+
+let run ?jobs ?(ms = [ 2 ]) ?models ?workloads ?faults ?fault_rates () =
   let models =
     match models with
     | Some l -> l
     | None -> [ Machine.Models.cm5 (); Machine.Models.paragon (); Machine.Models.t3d () ]
   in
   let workloads = match workloads with Some l -> l | None -> Workloads.all () in
+  let fault_rates =
+    match (faults, fault_rates) with
+    | None, None -> []
+    | base, rates ->
+      let base = Option.value ~default:Machine.Fault.none base in
+      let rates = Option.value ~default:default_fault_rates rates in
+      List.map (fun r -> (r, faults_at base r)) rates
+  in
   let cells =
     List.concat_map (fun w -> List.map (fun m -> (w, m)) ms) workloads
   in
-  let eval (w, m) = eval_cell models w m in
+  let eval (w, m) = eval_cell models fault_rates w m in
   match jobs with
   | None -> List.concat_map eval cells
   | Some j ->
@@ -85,26 +118,45 @@ let run ?jobs ?(ms = [ 2 ]) ?models ?workloads () =
        list is identical to the sequential one *)
     Par.Pool.with_pool ~jobs:j (fun pool -> Par.concat_map pool eval cells)
 
+let rates_of rows =
+  match rows with r :: _ -> List.map fst r.resilience | [] -> []
+
 let pp_table ppf rows =
-  Format.fprintf ppf "%-12s %2s %-8s %12s %12s %8s %6s %9s %9s@." "workload" "m"
+  let rates = rates_of rows in
+  Format.fprintf ppf "%-12s %2s %-8s %12s %12s %8s %6s %9s %9s" "workload" "m"
     "model" "optimized" "baseline" "gain" "valid" "time ms" "cost ms";
   List.iter
+    (fun rate -> Format.fprintf ppf " %8s" (Printf.sprintf "g@%g%%" (rate *. 100.0)))
+    rates;
+  Format.fprintf ppf "@.";
+  List.iter
     (fun r ->
-      Format.fprintf ppf "%-12s %2d %-8s %12.1f %12.1f %7.2fx %6b %9.2f %9.3f@."
+      Format.fprintf ppf "%-12s %2d %-8s %12.1f %12.1f %7.2fx %6b %9.2f %9.3f"
         r.workload r.m r.model r.optimized r.baseline
         (if r.optimized > 0.0 then r.baseline /. r.optimized else Float.infinity)
-        r.validated r.time_ms r.cost_ms)
+        r.validated r.time_ms r.cost_ms;
+      List.iter (fun (_, g) -> Format.fprintf ppf " %7.2fx" g) r.resilience;
+      Format.fprintf ppf "@.")
     rows
 
 let to_csv rows =
+  let rates = rates_of rows in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "workload,m,model,optimized,baseline,gain,non_local,validated\n";
+  Buffer.add_string buf "workload,m,model,optimized,baseline,gain,non_local,validated";
+  List.iter
+    (fun rate -> Buffer.add_string buf (Printf.sprintf ",gain_fault_%g" rate))
+    rates;
+  Buffer.add_char buf '\n';
   List.iter
     (fun r ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%d,%s,%.6f,%.6f,%.6f,%d,%b\n" r.workload r.m r.model
+        (Printf.sprintf "%s,%d,%s,%.6f,%.6f,%.6f,%d,%b" r.workload r.m r.model
            r.optimized r.baseline
            (if r.optimized > 0.0 then r.baseline /. r.optimized else 0.0)
-           r.non_local r.validated))
+           r.non_local r.validated);
+      List.iter
+        (fun (_, g) -> Buffer.add_string buf (Printf.sprintf ",%.6f" g))
+        r.resilience;
+      Buffer.add_char buf '\n')
     rows;
   Buffer.contents buf

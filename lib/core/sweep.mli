@@ -24,18 +24,39 @@ type row = {
       (** wall time of pricing the two plans on this row's machine
           model — the only per-model work — observed per row in the
           [sweep.cost_ms] histogram. *)
+  resilience : (float * float) list;
+      (** [(rate, gain)] pairs: the optimized-vs-baseline gain
+          ([baseline / optimized]) re-priced under the sweep's fault
+          model with a machine-wide flaky probability of [rate] added
+          on top.  Empty unless the sweep was given [faults] or
+          [fault_rates] — rows without resilience render and CSV
+          exactly as before. *)
 }
+
+val default_fault_rates : float list
+(** [[0.0; 0.01; 0.05]] — the rates used when [faults] is given
+    without an explicit [fault_rates]. *)
 
 val run :
   ?jobs:int ->
   ?ms:int list ->
   ?models:Machine.Models.t list ->
   ?workloads:Workloads.t list ->
+  ?faults:Machine.Fault.t ->
+  ?fault_rates:float list ->
   unit ->
   row list
 (** Defaults: [ms = [2]], all three machine models, all workloads.
     Workload/dimension combinations the alignment cannot materialize
     are skipped.
+
+    [faults] / [fault_rates] turn on the resilience columns: each row
+    is additionally priced under [faults] plus a machine-wide
+    [Flaky] probability for every rate in [fault_rates]
+    (default {!default_fault_rates} when only [faults] is given;
+    [faults] defaults to {!Machine.Fault.none} when only
+    [fault_rates] is given).  Omitting both keeps the rows — and the
+    rendered table and CSV — byte-identical to a fault-free sweep.
 
     [jobs] fans the (workload, m) cells over a {!Par.Pool} of that
     size.  Parallelism never changes the rows: results are assembled
@@ -57,4 +78,9 @@ val to_csv : row list -> string
     columns (workload, m, model, optimized, baseline, gain, non_local,
     validated), no timings, so two sweeps of the same build diff clean
     whatever [jobs] was.  This is the artifact the CI determinism gate
-    compares across [--jobs 1] / [--jobs 4]. *)
+    compares across [--jobs 1] / [--jobs 4].
+
+    When the rows carry resilience data, one [gain_fault_R] column per
+    rate is appended after [validated]; fault pricing is deterministic
+    for a given seed + spec, so the CSV still diffs clean across
+    repeated runs and job counts. *)

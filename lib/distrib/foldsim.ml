@@ -4,12 +4,12 @@ let place_fn model ~layout ~vgrid =
   let topo = model.Machine.Models.topo in
   fun v -> Layout.place layout ~vgrid ~topo v
 
-let time ?coalesce model ~layout ~vgrid ~flow ?offset ?(bytes = 8) () =
+let time ?coalesce ?faults model ~layout ~vgrid ~flow ?offset ?(bytes = 8) () =
   let place = place_fn model ~layout ~vgrid in
   let msgs = Machine.Patterns.affine_messages ~vgrid ~flow ?offset ~bytes ~place () in
-  Machine.Models.run ?coalesce model msgs
+  Machine.Models.run ?coalesce ?faults model msgs
 
-let decomposed_time model ~layout ~vgrid ~factors ?(bytes = 8) () =
+let decomposed_time ?faults model ~layout ~vgrid ~factors ?(bytes = 8) () =
   let place = place_fn model ~layout ~vgrid in
   (* The rightmost factor moves first: T = f1 f2 ... fn applied to v is
      realised as v -> fn v -> f(n-1) fn v -> ...; positions live on the
@@ -28,7 +28,7 @@ let decomposed_time model ~layout ~vgrid ~factors ?(bytes = 8) () =
           msgs := Machine.Message.make ~src:(place v) ~dst:(place dst) ~bytes :: !msgs)
         !positions;
       positions := !moved;
-      Machine.Models.run model !msgs)
+      Machine.Models.run ?faults model !msgs)
     phases
 
 let total_time stats =

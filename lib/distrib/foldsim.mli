@@ -5,6 +5,7 @@ open Linalg
 
 val time :
   ?coalesce:bool ->
+  ?faults:Machine.Fault.t ->
   Machine.Models.t ->
   layout:Layout.t ->
   vgrid:int array ->
@@ -16,9 +17,11 @@ val time :
 (** Simulate the communication of data-flow matrix [flow] over the
     virtual grid, folded onto the model's topology by [layout].
     [coalesce:false] models the generic (non-vectorizable) runtime
-    path used for a general affine communication. *)
+    path used for a general affine communication; [faults] prices it
+    on the degraded machine ({!Machine.Netsim.run}). *)
 
 val decomposed_time :
+  ?faults:Machine.Fault.t ->
   Machine.Models.t ->
   layout:Layout.t ->
   vgrid:int array ->

@@ -8,9 +8,15 @@ let default_params =
 type result = {
   cycles : int;
   delivered : int;
+  dropped : int;
+  retransmits : int;
+  unreachable : int;
   max_link_queue : int;
+  max_inject_wait : int;
   total_link_busy : int;
 }
+
+exception Deadlock of { cycles : int; in_flight : int }
 
 type sample = {
   cycle : int;
@@ -24,79 +30,141 @@ let record_result r =
     Obs.incr "eventsim.runs";
     Obs.observe "eventsim.cycles" (float_of_int r.cycles);
     Obs.observe "eventsim.max_queue" (float_of_int r.max_link_queue);
-    Obs.observe "eventsim.link_busy" (float_of_int r.total_link_busy)
+    Obs.observe "eventsim.link_busy" (float_of_int r.total_link_busy);
+    if r.dropped > 0 then Obs.incr ~by:r.dropped "eventsim.dropped";
+    if r.unreachable > 0 then Obs.incr ~by:r.unreachable "eventsim.unreachable"
   end;
   r
 
 type packet = {
+  id : int;  (* injection index, keys the deterministic drop decision *)
   route : (int * int) array;
   bytes : int;
   mutable hop : int;  (* index of the link currently being crossed *)
   mutable remaining : int;  (* bytes left on the current link *)
+  mutable attempts : int;  (* failed attempts on the current hop *)
 }
 
 type link_state = {
   queue : packet Queue.t;
   mutable current : packet option;
+  rate : int;  (* bytes per cycle, after degradation *)
 }
+
+(* Split the remote messages into routable packkets-to-be and
+   unreachable ones (dead endpoint, or every path severed). *)
+let classify_remote faults topo remote =
+  let unreachable = ref 0 in
+  let routable =
+    List.filter_map
+      (fun (m : Message.t) ->
+           if Fault.is_none faults then
+             Some (m, Route.path topo ~src:m.Message.src ~dst:m.Message.dst)
+           else
+             match Fault.route faults topo ~src:m.Message.src ~dst:m.Message.dst with
+             | Some path -> Some (m, path)
+             | None ->
+               incr unreachable;
+               if Obs.enabled () then Obs.incr "fault.injected";
+               None)
+      remote
+  in
+  (routable, !unreachable)
+
+let effective_rate faults params l =
+  if Fault.is_none faults then params.bytes_per_cycle
+  else
+    max 1
+      (int_of_float
+         (Float.round
+            (float_of_int params.bytes_per_cycle *. Fault.bandwidth_factor faults l)))
 
 (* Wormhole: a greedy circuit scheduler.  Messages are considered in
    injection order; each starts as soon as it is injected and every
    link of its path is free, holding the whole path for
-   [hops + ceil(bytes / bw)] cycles. *)
-let run_wormhole topo params msgs =
+   [hops + ceil(bytes / bw)] cycles.  Per-packet drops are not
+   modelled here (a circuit either holds or it does not); dead nodes,
+   severed links and degraded bandwidth are. *)
+let run_wormhole faults topo params msgs =
   let remote = List.filter (fun m -> not (Message.is_local m)) msgs in
   let n_local = List.length msgs - List.length remote in
+  let routable, unreachable = classify_remote faults topo remote in
   let next_inject : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let link_free : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* done-times per link, to measure true queue depth: how many
+     earlier circuits are still pending on a link when a new message
+     wants it *)
+  let link_pending : (int * int, int list) Hashtbl.t = Hashtbl.create 64 in
   let finish = ref 0 in
   let busy = ref 0 in
   let max_queue = ref 0 in
+  let max_wait = ref 0 in
   List.iter
-    (fun (m : Message.t) ->
+    (fun ((m : Message.t), path) ->
       let inject =
         Option.value ~default:params.startup_cycles
           (Hashtbl.find_opt next_inject m.Message.src)
       in
       Hashtbl.replace next_inject m.Message.src (inject + params.startup_cycles);
-      let path = Route.path topo ~src:m.Message.src ~dst:m.Message.dst in
       let path_free =
         List.fold_left
           (fun acc l -> max acc (Option.value ~default:0 (Hashtbl.find_opt link_free l)))
           0 path
       in
+      let depth =
+        List.fold_left
+          (fun acc l ->
+            let pend = Option.value ~default:[] (Hashtbl.find_opt link_pending l) in
+            max acc (List.length (List.filter (fun d -> d > inject) pend)))
+          0 path
+      in
+      if depth > !max_queue then max_queue := depth;
       let start = max inject path_free in
+      let bw =
+        List.fold_left (fun acc l -> min acc (effective_rate faults params l))
+          params.bytes_per_cycle path
+      in
       let duration =
-        List.length path
-        + ((max 1 m.Message.bytes + params.bytes_per_cycle - 1) / params.bytes_per_cycle)
+        List.length path + ((max 1 m.Message.bytes + bw - 1) / bw)
       in
       let done_at = start + duration in
-      List.iter (fun l -> Hashtbl.replace link_free l done_at) path;
+      List.iter
+        (fun l ->
+          Hashtbl.replace link_free l done_at;
+          let pend = Option.value ~default:[] (Hashtbl.find_opt link_pending l) in
+          Hashtbl.replace link_pending l (done_at :: pend))
+        path;
       busy := !busy + (duration * List.length path);
-      if start - inject > !max_queue then max_queue := start - inject;
+      if start - inject > !max_wait then max_wait := start - inject;
       if done_at > !finish then finish := done_at)
-    remote;
+    routable;
   {
     cycles = !finish;
-    delivered = List.length remote + n_local;
+    delivered = List.length routable + n_local;
+    dropped = 0;
+    retransmits = 0;
+    unreachable;
     max_link_queue = !max_queue;
+    max_inject_wait = !max_wait;
     total_link_busy = !busy;
   }
 
-let run ?sampler ?(sample_every = 64) topo params msgs =
+let run ?(faults = Fault.none) ?sampler ?(sample_every = 64) topo params msgs =
   if params.bytes_per_cycle <= 0 || params.startup_cycles < 0 then
     invalid_arg "Eventsim.run: bad parameters";
   if sample_every <= 0 then invalid_arg "Eventsim.run: sample_every <= 0";
-  if params.mode = Wormhole then record_result (run_wormhole topo params msgs)
+  if params.mode = Wormhole then record_result (run_wormhole faults topo params msgs)
   else begin
+  let faults_active = not (Fault.is_none faults) in
   let remote = List.filter (fun m -> not (Message.is_local m)) msgs in
   let n_local = List.length msgs - List.length remote in
+  let routable, unreachable = classify_remote faults topo remote in
   (* injection schedule: per sender, messages go out one every
      startup_cycles, in list order *)
   let next_inject : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let injections =
-    List.map
-      (fun (m : Message.t) ->
+    List.mapi
+      (fun id ((m : Message.t), path) ->
         (* the k-th message of a sender reaches the wire after k+1
            software start-ups *)
         let t =
@@ -104,15 +172,16 @@ let run ?sampler ?(sample_every = 64) topo params msgs =
             (Hashtbl.find_opt next_inject m.Message.src)
         in
         Hashtbl.replace next_inject m.Message.src (t + params.startup_cycles);
-        let route = Array.of_list (Route.path topo ~src:m.Message.src ~dst:m.Message.dst) in
         ( t,
           {
-            route;
+            id;
+            route = Array.of_list path;
             bytes = max 1 m.Message.bytes;
             hop = 0;
             remaining = max 1 m.Message.bytes;
+            attempts = 0;
           } ))
-      remote
+      routable
   in
   let links : (int * int, link_state) Hashtbl.t = Hashtbl.create 64 in
   (* create every link up front: the table must not grow while it is
@@ -122,12 +191,19 @@ let run ?sampler ?(sample_every = 64) topo params msgs =
       Array.iter
         (fun l ->
           if not (Hashtbl.mem links l) then
-            Hashtbl.replace links l { queue = Queue.create (); current = None })
+            Hashtbl.replace links l
+              {
+                queue = Queue.create ();
+                current = None;
+                rate = effective_rate faults params l;
+              })
         p.route)
     injections;
   let link l = Hashtbl.find links l in
   let delivered = ref 0 in
-  let total = List.length remote in
+  let dropped = ref 0 in
+  let retransmits = ref 0 in
+  let total = List.length routable in
   let max_queue = ref 0 in
   let busy = ref 0 in
   let pending = ref injections in
@@ -164,37 +240,71 @@ let run ?sampler ?(sample_every = 64) topo params msgs =
       let ts = float_of_int !cycle in
       Obs.point "eventsim.in_flight" ~ts (float_of_int !in_flight);
       Obs.point "eventsim.busy_links" ~ts (float_of_int !busy_links);
-      Obs.point "eventsim.max_queue_now" ~ts (float_of_int !max_q)
+      Obs.point "eventsim.max_queue_now" ~ts (float_of_int !max_q);
+      if total > 0 then
+        Obs.point "eventsim.delivered_fraction" ~ts
+          (float_of_int !delivered /. float_of_int total)
     end
   in
   let cap = 50_000_000 in
-  while !delivered < total do
-    if !cycle > cap then failwith "Eventsim.run: simulation did not terminate";
+  while !delivered + !dropped < total do
+    if !cycle > cap then
+      raise
+        (Deadlock { cycles = !cycle; in_flight = total - !delivered - !dropped });
     if observing && !cycle mod sample_every = 0 then take_sample ();
-    (* inject the packets whose time has come *)
+    (* inject the packets whose time has come (first sends and
+       backed-off retransmissions alike) *)
     let now, later = List.partition (fun (t, _) -> t <= !cycle) !pending in
     pending := later;
     List.iter (fun (_, p) -> enqueue p) now;
     (* each link transmits *)
     Hashtbl.iter
-      (fun _ s ->
-        (match s.current with
-        | None -> if not (Queue.is_empty s.queue) then s.current <- Some (Queue.pop s.queue)
-        | Some _ -> ());
-        match s.current with
-        | None -> ()
-        | Some p ->
-          incr busy;
-          p.remaining <- p.remaining - params.bytes_per_cycle;
-          if p.remaining <= 0 then begin
-            s.current <- None;
-            p.hop <- p.hop + 1;
-            if p.hop >= Array.length p.route then incr delivered
-            else begin
-              p.remaining <- p.bytes;
-              enqueue p
+      (fun lkey s ->
+        if faults_active && Fault.link_down faults ~cycle:!cycle lkey then ()
+        else begin
+          (match s.current with
+          | None -> if not (Queue.is_empty s.queue) then s.current <- Some (Queue.pop s.queue)
+          | Some _ -> ());
+          match s.current with
+          | None -> ()
+          | Some p ->
+            incr busy;
+            p.remaining <- p.remaining - s.rate;
+            if p.remaining <= 0 then begin
+              s.current <- None;
+              if
+                faults_active
+                && Fault.drops faults ~packet:p.id ~hop:p.hop ~attempt:p.attempts
+                     ~link:lkey
+              then begin
+                (* lost on the wire: the sender's ACK timer fires and
+                   it retransmits on this hop with exponential
+                   backoff, up to the retry cap *)
+                p.attempts <- p.attempts + 1;
+                if Obs.enabled () then Obs.incr "fault.injected";
+                if p.attempts > Fault.max_retries faults then incr dropped
+                else begin
+                  incr retransmits;
+                  let wait = Fault.backoff faults ~attempt:p.attempts in
+                  if Obs.enabled () then begin
+                    Obs.incr "eventsim.retransmits";
+                    Obs.observe "eventsim.backoff_ms" (float_of_int wait)
+                  end;
+                  p.remaining <- p.bytes;
+                  pending := (!cycle + wait, p) :: !pending
+                end
+              end
+              else begin
+                p.hop <- p.hop + 1;
+                p.attempts <- 0;
+                if p.hop >= Array.length p.route then incr delivered
+                else begin
+                  p.remaining <- p.bytes;
+                  enqueue p
+                end
+              end
             end
-          end)
+        end)
       links;
     incr cycle
   done;
@@ -202,7 +312,11 @@ let run ?sampler ?(sample_every = 64) topo params msgs =
     {
       cycles = !cycle;
       delivered = !delivered + n_local;
+      dropped = !dropped;
+      retransmits = !retransmits;
+      unreachable;
       max_link_queue = !max_queue;
+      max_inject_wait = 0;
       total_link_busy = !busy;
     }
   end

@@ -10,7 +10,17 @@
 
     Used to cross-validate the closed-form model: rankings (which of
     two communication patterns is faster) agree between the two
-    simulators on the paper's experiments. *)
+    simulators on the paper's experiments.
+
+    Under a {!Fault} model the simulation degrades instead of lying:
+    packets crossing flaky links drop and are retransmitted with ACK
+    timeout and capped exponential backoff; links inside a down
+    interval stall their queue; permanently severed links are detoured
+    around at injection time ({!Route.path_avoiding}); messages with
+    no surviving route (or a dead endpoint) are counted [unreachable]
+    up front.  Partial delivery is always reported, never silently
+    lost: {b [delivered + dropped + unreachable = total messages]} in
+    every run (local messages count as delivered at time 0). *)
 
 type mode =
   | Store_forward  (** a packet fully crosses one link at a time *)
@@ -32,9 +42,33 @@ val default_params : params
 type result = {
   cycles : int;  (** makespan *)
   delivered : int;
-  max_link_queue : int;  (** worst backlog observed on one link *)
+  dropped : int;
+      (** packets dropped {e permanently}: every retransmission
+          attempt up to [Fault.max_retries] also dropped.  0 without
+          faults. *)
+  retransmits : int;  (** total retransmission attempts *)
+  unreachable : int;
+      (** messages never injected: an endpoint is dead, or every route
+          crosses a severed link *)
+  max_link_queue : int;
+      (** worst {e queue depth} observed on one link, in both modes:
+          packets queued behind a store-and-forward link, or circuits
+          still pending on a wormhole link when a new message asks for
+          it.  (Before the split this field recorded waiting {e
+          cycles} in wormhole mode; that measure is now
+          [max_inject_wait].) *)
+  max_inject_wait : int;
+      (** wormhole only: the longest time (cycles) a message waited
+          between being injection-ready and acquiring its whole path.
+          0 in store-and-forward mode, where waiting shows up as queue
+          depth instead. *)
   total_link_busy : int;  (** sum over links of busy cycles *)
 }
+
+exception Deadlock of { cycles : int; in_flight : int }
+(** Raised (instead of a bare [Failure]) when the simulation exceeds
+    its cycle cap with [in_flight] packets still undelivered — a
+    structured verdict the CLI can render as a clean error. *)
 
 type sample = {
   cycle : int;
@@ -46,6 +80,7 @@ type sample = {
     observation of how congestion builds and drains. *)
 
 val run :
+  ?faults:Fault.t ->
   ?sampler:(sample -> unit) ->
   ?sample_every:int ->
   Topology.t ->
@@ -53,13 +88,27 @@ val run :
   Message.t list ->
   result
 (** Local messages are delivered at time 0.  Deterministic: messages
-    are injected in list order, one per sender per [startup_cycles].
+    are injected in list order, one per sender per [startup_cycles],
+    and fault decisions are pure hashes of (seed, packet, hop,
+    attempt) — the same [faults] value always reproduces the same
+    result, at any {!Par} jobs level.
+
+    [faults] (default {!Fault.none}, which costs nothing) injects the
+    fault model described in the module header.  In [Wormhole] mode
+    dead nodes, severed links and degraded bandwidth apply, but
+    per-packet drops do not (a circuit either holds or is never
+    built), so [dropped = retransmits = 0] there.
 
     [sampler] (store-and-forward mode only — wormhole is not
     cycle-stepped) is called every [sample_every] cycles (default 64)
     with the instantaneous link state; independently, when
     {!Obs.enabled} the same samples are recorded as {!Obs.point} time
     series ([eventsim.in_flight], [eventsim.busy_links],
-    [eventsim.max_queue_now], timestamped in cycles) and the final
-    result feeds the [eventsim.*] histograms.  With no sampler and
-    Obs disabled the per-cycle overhead is a single test. *)
+    [eventsim.max_queue_now], and under faults
+    [eventsim.delivered_fraction], timestamped in cycles) and the
+    final result feeds the [eventsim.*] histograms plus the
+    [fault.injected] / [eventsim.retransmits] counters and the
+    [eventsim.backoff_ms] histogram.  With no sampler and Obs disabled
+    the per-cycle overhead is a single test.
+
+    @raise Deadlock when the cycle cap is exceeded. *)

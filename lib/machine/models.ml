@@ -80,7 +80,7 @@ let scatter_time t ~bytes =
 
 let gather_time t ~bytes = scatter_time t ~bytes
 
-let run ?coalesce t msgs = Netsim.run ?coalesce t.topo t.net msgs
+let run ?coalesce ?faults t msgs = Netsim.run ?coalesce ?faults t.topo t.net msgs
 
 let translation_time t ~bytes =
   (* shift by one along axis 0: every processor sends to its

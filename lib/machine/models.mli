@@ -52,4 +52,4 @@ val general_time : t -> bytes:int -> float
     pattern [p -> reversal(p)], which concentrates traffic on the
     bisection. *)
 
-val run : ?coalesce:bool -> t -> Message.t list -> Netsim.stats
+val run : ?coalesce:bool -> ?faults:Fault.t -> t -> Message.t list -> Netsim.stats

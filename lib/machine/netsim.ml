@@ -9,18 +9,42 @@ type stats = {
   max_sender : int;
   max_receiver : int;
   max_hops : int;
+  unreachable : int;
 }
 
-let link_loads topo msgs =
+(* The route a message takes under the fault model, or None when it
+   cannot be delivered at all. *)
+let route_of faults topo (m : Message.t) =
+  if Fault.is_none faults then
+    Some (Route.path topo ~src:m.Message.src ~dst:m.Message.dst)
+  else Fault.route faults topo ~src:m.Message.src ~dst:m.Message.dst
+
+(* Effective bytes a link must carry for [bytes] payload bytes:
+   expected retransmissions over a flaky link divided by the remaining
+   bandwidth fraction — the degraded-capacity cost model.  Exact
+   integer identity (no float round-trip) on a healthy link. *)
+let effective_load faults l bytes =
+  if Fault.is_none faults then bytes
+  else
+    let w = Fault.expected_transmissions faults l /. Fault.bandwidth_factor faults l in
+    int_of_float (ceil (float_of_int bytes *. w))
+
+(* The one per-link accumulation, shared by [link_loads] and [run]. *)
+let add_route_loads faults loads bytes path =
+  List.iter
+    (fun link ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt loads link) in
+      Hashtbl.replace loads link (cur + effective_load faults link bytes))
+    path
+
+let link_loads ?(faults = Fault.none) topo msgs =
   let loads : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun (m : Message.t) ->
       if not (Message.is_local m) then
-        List.iter
-          (fun link ->
-            let cur = Option.value ~default:0 (Hashtbl.find_opt loads link) in
-            Hashtbl.replace loads link (cur + m.Message.bytes))
-          (Route.path topo ~src:m.Message.src ~dst:m.Message.dst))
+        match route_of faults topo m with
+        | Some path -> add_route_loads faults loads m.Message.bytes path
+        | None -> ())
     msgs;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) loads []
 
@@ -35,33 +59,38 @@ let coalesce_messages msgs =
     msgs;
   Hashtbl.fold (fun (src, dst) bytes acc -> Message.make ~src ~dst ~bytes :: acc) tbl []
 
-let run ?(coalesce = true) topo params msgs =
+let run ?(coalesce = true) ?(faults = Fault.none) topo params msgs =
   let remote = List.filter (fun m -> not (Message.is_local m)) msgs in
   let remote = if coalesce then coalesce_messages remote else remote in
   let n = Topology.size topo in
   let send = Array.make n 0 and recv = Array.make n 0 in
   let total_bytes = ref 0 and total_hops = ref 0 and max_hops = ref 0 in
+  let unreachable = ref 0 in
+  let priced = ref 0 in
   let loads : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun (m : Message.t) ->
-      send.(m.Message.src) <- send.(m.Message.src) + 1;
-      recv.(m.Message.dst) <- recv.(m.Message.dst) + 1;
-      total_bytes := !total_bytes + m.Message.bytes;
-      let h = Route.hops topo ~src:m.Message.src ~dst:m.Message.dst in
-      total_hops := !total_hops + h;
-      if h > !max_hops then max_hops := h;
-      List.iter
-        (fun link ->
-          let cur = Option.value ~default:0 (Hashtbl.find_opt loads link) in
-          Hashtbl.replace loads link (cur + m.Message.bytes))
-        (Route.path topo ~src:m.Message.src ~dst:m.Message.dst))
+      match route_of faults topo m with
+      | None ->
+        incr unreachable;
+        if Obs.enabled () then Obs.incr "fault.injected"
+      | Some path ->
+        incr priced;
+        send.(m.Message.src) <- send.(m.Message.src) + 1;
+        recv.(m.Message.dst) <- recv.(m.Message.dst) + 1;
+        total_bytes := !total_bytes + m.Message.bytes;
+        (* hops follow the actual route, detours included *)
+        let h = List.length path in
+        total_hops := !total_hops + h;
+        if h > !max_hops then max_hops := h;
+        add_route_loads faults loads m.Message.bytes path)
     remote;
   let max_link_load = Hashtbl.fold (fun _ v acc -> max v acc) loads 0 in
   let max_sender = Array.fold_left max 0 send in
   let max_receiver = Array.fold_left max 0 recv in
   let serial = max max_sender max_receiver in
   let time =
-    if remote = [] then 0.0
+    if !priced = 0 then 0.0
     else
       (params.alpha *. float_of_int serial)
       +. (params.beta *. float_of_int max_link_load)
@@ -69,23 +98,26 @@ let run ?(coalesce = true) topo params msgs =
   in
   if Obs.enabled () then begin
     Obs.incr "netsim.runs";
-    Obs.incr ~by:(List.length remote) "netsim.messages";
+    Obs.incr ~by:!priced "netsim.messages";
     Obs.observe "netsim.time" time;
     Obs.observe "netsim.max_link_load" (float_of_int max_link_load)
   end;
   {
     time;
-    messages = List.length remote;
+    messages = !priced;
     total_bytes = !total_bytes;
     total_hops = !total_hops;
     max_link_load;
     max_sender;
     max_receiver;
     max_hops = !max_hops;
+    unreachable = !unreachable;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "time %.2f (msgs %d, bytes %d, max link %d, max send %d, max recv %d, max hops %d)"
+    "time %.2f (msgs %d, bytes %d, max link %d, max send %d, max recv %d, max hops %d%s)"
     s.time s.messages s.total_bytes s.max_link_load s.max_sender s.max_receiver
     s.max_hops
+    (if s.unreachable > 0 then Printf.sprintf ", unreachable %d" s.unreachable
+     else "")

@@ -18,37 +18,56 @@
     [time = alpha * max(sender, receiver serialization)
           + beta * max link load (bytes)
           + hop * longest path].  Local messages ([src = dst]) are
-    free. *)
+    free.
+
+    Under a {!Fault} model the formula keeps its shape but the inputs
+    degrade — the {e degraded-capacity} variant: routes detour around
+    severed links (so hops may grow), each link's load is inflated by
+    the expected retransmissions over its flaky probability divided by
+    its remaining bandwidth fraction, and messages with no surviving
+    route (or a dead endpoint) are counted [unreachable] and excluded
+    from the price instead of silently vanishing. *)
 
 type params = { alpha : float; beta : float; hop : float }
 
 type stats = {
   time : float;
-  messages : int;  (** non-local messages *)
+  messages : int;  (** non-local messages actually priced *)
   total_bytes : int;
   total_hops : int;
   max_link_load : int;  (** bytes through the most loaded link *)
   max_sender : int;  (** messages injected by the busiest node *)
   max_receiver : int;
   max_hops : int;
+  unreachable : int;
+      (** messages excluded from the price: dead endpoint or no
+          surviving route.  0 without faults. *)
 }
 
-val run : ?coalesce:bool -> Topology.t -> params -> Message.t list -> stats
+val run :
+  ?coalesce:bool -> ?faults:Fault.t -> Topology.t -> params -> Message.t list -> stats
 (** [coalesce] (default [true]) merges same-pair messages.  Pass
     [false] to model the runtime's generic path for a {e general}
     affine communication: the pattern is too irregular to vectorize,
     so every element pays its own start-up — the very overhead the
     paper's decomposition removes.
 
+    [faults] (default {!Fault.none}, zero-cost) switches on the
+    degraded-capacity model described above.
+
     When {!Obs.enabled}, each run increments the [netsim.runs] /
     [netsim.messages] counters and feeds the [netsim.time] and
     [netsim.max_link_load] histograms, so a sweep leaves a
-    machine-readable record of every pricing it performed. *)
+    machine-readable record of every pricing it performed;
+    undeliverable messages also bump [fault.injected]. *)
 
 val coalesce_messages : Message.t list -> Message.t list
 (** Merge messages sharing (src, dst) into one with summed bytes. *)
 
-val link_loads : Topology.t -> Message.t list -> ((int * int) * int) list
-(** Bytes per directed link, for inspection. *)
+val link_loads :
+  ?faults:Fault.t -> Topology.t -> Message.t list -> ((int * int) * int) list
+(** Bytes per directed link, for inspection — the same accumulation
+    {!run} prices, fault inflation included; undeliverable messages
+    contribute nothing. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -11,3 +11,17 @@ val path : Topology.t -> src:int -> dst:int -> (int * int) list
 
 val hops : Topology.t -> src:int -> dst:int -> int
 (** Manhattan distance. *)
+
+val path_avoiding :
+  down:(int * int -> bool) ->
+  Topology.t ->
+  src:int ->
+  dst:int ->
+  (int * int) list option
+(** Dimension-order routing with detour: the plain {!path} when none
+    of its hops satisfies [down], otherwise a deterministic
+    breadth-first shortest path over the surviving links (dimensions
+    ascending, positive direction first — the tie-breaking is fixed,
+    so the same fault set always yields the same detour).  [None] when
+    every route to [dst] crosses a down link — the caller reports the
+    destination unreachable instead of hanging. *)

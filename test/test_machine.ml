@@ -136,6 +136,25 @@ let test_netsim_link_loads () =
   Alcotest.(check int) "two links" 2 (List.length loads);
   List.iter (fun (_, l) -> Alcotest.(check int) "load 10" 10 l) loads
 
+let test_netsim_torus_loads () =
+  (* pins the load accumulation shared by [run] and [link_loads]: a +1
+     shift on a 4x4 torus is one wrap-aware hop per node, so 16
+     messages put exactly 10 bytes on each of 16 distinct links *)
+  let t = Topology.make ~torus:true [| 4; 4 |] in
+  let place v = Topology.rank_of t v in
+  let msgs =
+    Patterns.translation_messages ~vgrid:[| 4; 4 |] ~shift:[| 1; 0 |] ~bytes:10
+      ~place ()
+  in
+  let loads = Netsim.link_loads t msgs in
+  Alcotest.(check int) "16 distinct links" 16 (List.length loads);
+  Alcotest.(check int) "total bytes x hops" 160
+    (List.fold_left (fun acc (_, l) -> acc + l) 0 loads);
+  List.iter (fun (_, l) -> Alcotest.(check int) "each link 10" 10 l) loads;
+  let s = Netsim.run t params msgs in
+  Alcotest.(check int) "run agrees: hottest link" 10 s.Netsim.max_link_load;
+  Alcotest.(check int) "run agrees: total hops" 16 s.Netsim.total_hops
+
 (* ------------------------------------------------------------------ *)
 (* Collectives and models                                              *)
 (* ------------------------------------------------------------------ *)
@@ -229,6 +248,7 @@ let () =
           Alcotest.test_case "coalescing" `Quick test_netsim_coalescing;
           Alcotest.test_case "link contention" `Quick test_netsim_contention;
           Alcotest.test_case "link loads" `Quick test_netsim_link_loads;
+          Alcotest.test_case "torus load pin" `Quick test_netsim_torus_loads;
         ] );
       ( "models",
         [
