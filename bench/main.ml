@@ -462,6 +462,75 @@ let parbench () =
   Format.eprintf "parallel sweep snapshot written to BENCH_par.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Memo cache: repeated solves, memoized vs not                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The workload a user actually repeats: re-running the full sweep (a
+   tweak-and-rerun loop re-prices the same plans on the same models)
+   and re-running the exhaustive decomposition scan.  Both sides do
+   the identical work [reps] times; the cached side keeps its memo
+   tables warm across repetitions, exactly as repeated CLI invocations
+   with --cache FILE would. *)
+let cachebench () =
+  section "Cache - repeated sweeps and searches, memoized vs not";
+  let reps = 3 in
+  let ms = [ 1; 2; 3 ] in
+  let sweep_once () =
+    strip_rows (Resopt.Sweep.run ~ms ~fault_rates:[ 0.01; 0.05 ] ())
+  in
+  let search_once () = Decomp.Search.factor_histogram ~bound:12 () in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let repeat f = timed (fun () -> List.init reps (fun _ -> f ())) in
+  (* warm-up so neither side pays one-time costs *)
+  ignore (Resopt.Sweep.run ~ms:[ 2 ] ());
+  Cache.disable ();
+  let cold_rows, cold_sweep = repeat sweep_once in
+  let cold_hists, cold_search = repeat search_once in
+  let warm_rows, warm_sweep, warm_hists, warm_search =
+    Cache.scoped ~enable:true (fun () ->
+        Cache.clear ();
+        let r, ts = repeat sweep_once in
+        let h, tr = repeat search_once in
+        (r, ts, h, tr))
+  in
+  let identical = warm_rows = cold_rows && warm_hists = cold_hists in
+  let speedup cold warm = if warm > 0.0 then cold /. warm else 0.0 in
+  let s_sweep = speedup cold_sweep warm_sweep in
+  let s_search = speedup cold_search warm_search in
+  let s_total =
+    speedup (cold_sweep +. cold_search) (warm_sweep +. warm_search)
+  in
+  let cs = Cache.stats () in
+  Format.printf "%-24s %10s %10s %9s@." "workload (x3)" "uncached" "cached"
+    "speedup";
+  Format.printf "%-24s %9.3fs %9.3fs %8.2fx@." "sweep ms=1,2,3 +faults"
+    cold_sweep warm_sweep s_sweep;
+  Format.printf "%-24s %9.3fs %9.3fs %8.2fx@." "search bound=12" cold_search
+    warm_search s_search;
+  Format.printf "%-24s %9.3fs %9.3fs %8.2fx@." "total"
+    (cold_sweep +. cold_search)
+    (warm_sweep +. warm_search)
+    s_total;
+  Format.printf
+    "results identical: %b; %d hits / %d misses / %d evictions, %d entries@."
+    identical cs.Cache.hits cs.Cache.misses cs.Cache.evictions cs.Cache.entries;
+  let json =
+    Printf.sprintf
+      "{\"reps\":%d,\"ms\":[1,2,3],\"fault_rates\":[0.01,0.05],\"search_bound\":12,\"sweep\":{\"uncached_s\":%.6f,\"cached_s\":%.6f,\"speedup\":%.3f},\"search\":{\"uncached_s\":%.6f,\"cached_s\":%.6f,\"speedup\":%.3f},\"total\":{\"uncached_s\":%.6f,\"cached_s\":%.6f,\"speedup\":%.3f},\"results_identical\":%b,\"cache\":{\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"entries\":%d}}"
+      reps cold_sweep warm_sweep s_sweep cold_search warm_search s_search
+      (cold_sweep +. cold_search)
+      (warm_sweep +. warm_search)
+      s_total identical cs.Cache.hits cs.Cache.misses cs.Cache.evictions
+      cs.Cache.entries
+  in
+  Obs.write_file "BENCH_cache.json" json;
+  Format.eprintf "cache speedup snapshot written to BENCH_cache.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Event-driven cross-validation of Table 2                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -726,6 +795,7 @@ let experiments =
     ("plancost", plancost);
     ("sweep", sweep);
     ("parbench", parbench);
+    ("cachebench", cachebench);
     ("autodim", autodim);
     ("progtime", progtime);
     ("optimality", optimality);

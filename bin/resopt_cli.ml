@@ -5,11 +5,14 @@
      resopt-cli run example1 [-m 2] [--baseline platonoff|feautrier]
      resopt-cli graph example1 [-m 2]
      resopt-cli sweep [--jobs 4] [--ms 1,2,3] [--csv FILE]
+     resopt-cli search [--bound 6] [--jobs 4]
      resopt-cli simulate [-k 3] [--layout grouped|block|cyclic]
      resopt-cli chaos [-n 25] [--seed 0] [--jobs 4]
 
    The commands that price or simulate communications also take
-   --faults SPEC --seed N to run on an imperfect machine.
+   --faults SPEC --seed N to run on an imperfect machine, and the
+   ones that repeat linear-algebra solves take --cache [FILE] to
+   memoize them (in memory, or persisted to FILE across invocations).
 *)
 
 open Cmdliner
@@ -57,6 +60,40 @@ let with_obs (trace, stats) f =
     if !write_failed then exit 1;
     v
   end
+
+(* --cache [FILE]: shared memoization flag.  Bare --cache serves the
+   repeated Hermite/Smith/decomposition solves and plan pricings from
+   in-memory memo tables; --cache FILE additionally loads the tables
+   from FILE before the command and saves them back after, so repeated
+   invocations start warm.  A missing, corrupted or stale FILE starts
+   cold, never fails.  Without the flag the tables stay off and output
+   is byte-identical to a build without the cache subsystem; with it,
+   output is byte-identical anyway — only the timing changes. *)
+
+let cache_term =
+  let doc =
+    "Memoize repeated linear-algebra solves and plan pricings.  With \
+     $(docv), also load the memo tables from that file first and save \
+     them back afterwards (a missing or corrupted file just starts \
+     cold).  Cached output is byte-identical to uncached."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "cache" ] ~docv:"FILE" ~doc)
+
+let with_cache cache f =
+  match cache with
+  | None -> f ()
+  | Some file ->
+    Cache.enable ();
+    if file = "" then f ()
+    else begin
+      ignore (Cache.load file : bool);
+      Fun.protect f ~finally:(fun () ->
+          try Cache.save file
+          with Sys_error msg -> Format.eprintf "cannot write cache: %s@." msg)
+    end
 
 (* --faults SPEC / --seed N: shared fault-injection flags.  Without
    --faults the value is [None] and every command's output is
@@ -149,9 +186,10 @@ let run_cmd =
           model.Machine.Models.name o b (gain b o) fo fb (gain fb fo))
       [ Machine.Models.cm5 (); Machine.Models.paragon (); Machine.Models.t3d () ]
   in
-  let run name m baseline faults obs =
+  let run name m baseline faults cache obs =
     let w = find_workload name in
     with_obs obs @@ fun () ->
+    with_cache cache @@ fun () ->
     match baseline with
     | None ->
       let r = Resopt.Pipeline.run ~m ~schedule:w.Resopt.Workloads.schedule w.Resopt.Workloads.nest in
@@ -176,7 +214,9 @@ let run_cmd =
       exit 1
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ workload_arg $ m_arg $ baseline_arg $ faults_term $ obs_term)
+    Term.(
+      const run $ workload_arg $ m_arg $ baseline_arg $ faults_term $ cache_term
+      $ obs_term)
 
 let graph_cmd =
   let doc = "Print the access graph of a workload." in
@@ -301,7 +341,8 @@ let fuzz_cmd =
   let seed_arg =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed.")
   in
-  let run count seed jobs =
+  let run count seed jobs cache =
+    with_cache cache @@ fun () ->
     let nests = Nestir.Gennest.generate_many ~seed ~count in
     let verdict nest =
       match Resopt.Pipeline.run ~m:2 nest with
@@ -328,7 +369,8 @@ let fuzz_cmd =
       !failed;
     if !failed > 0 then exit 1
   in
-  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const run $ count_arg $ seed_arg $ jobs_arg)
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run $ count_arg $ seed_arg $ jobs_arg $ cache_term)
 
 let chaos_cmd =
   let doc =
@@ -465,8 +507,9 @@ let sweep_cmd =
     in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
   in
-  let run jobs ms csv faults obs =
+  let run jobs ms csv faults cache obs =
     with_obs obs @@ fun () ->
+    with_cache cache @@ fun () ->
     (* --faults adds the resilience columns (gain re-priced at the
        default fault rates on top of the given spec); without it the
        table and CSV are unchanged *)
@@ -479,7 +522,38 @@ let sweep_cmd =
       Format.eprintf "csv written to %s@." file
   in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const run $ jobs_arg $ ms_arg $ csv_arg $ faults_term $ obs_term)
+    Term.(
+      const run $ jobs_arg $ ms_arg $ csv_arg $ faults_term $ cache_term
+      $ obs_term)
+
+let search_cmd =
+  let doc =
+    "Scan the box of determinant-1 flow matrices with entries bounded \
+     by $(b,--bound) and histogram how many elementary factors each \
+     needs (the paper's exhaustive decomposition search)."
+  in
+  let bound_arg =
+    let doc = "Scan matrices with |entries| <= $(docv)." in
+    Arg.(value & opt int 6 & info [ "bound" ] ~docv:"BOUND" ~doc)
+  in
+  let run bound jobs cache obs =
+    with_obs obs @@ fun () ->
+    with_cache cache @@ fun () ->
+    let hist =
+      match jobs with
+      | None -> Decomp.Search.factor_histogram ~bound ()
+      | Some j ->
+        Par.Pool.with_pool ~jobs:j (fun pool ->
+            Decomp.Search.factor_histogram ~pool ~bound ())
+    in
+    Format.printf "%a@." Decomp.Search.pp hist;
+    List.iter
+      (fun t ->
+        Format.printf "  witness needing > 4 factors: %a@." Linalg.Mat.pp_flat t)
+      hist.Decomp.Search.witnesses_beyond
+  in
+  Cmd.v (Cmd.info "search" ~doc)
+    Term.(const run $ bound_arg $ jobs_arg $ cache_term $ obs_term)
 
 let report_cmd =
   let doc = "Full markdown report: plan, validation, costs, directives." in
@@ -536,4 +610,4 @@ let simulate_cmd =
 let () =
   let doc = "Optimize residual communications of affine loop nests (Dion, Randriamaro, Robert 1996)." in
   let info = Cmd.info "resopt-cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; graph_cmd; codegen_cmd; parse_cmd; compile_cmd; report_cmd; fuzz_cmd; autodim_cmd; spmd_cmd; simulate_cmd; sweep_cmd; chaos_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; graph_cmd; codegen_cmd; parse_cmd; compile_cmd; report_cmd; fuzz_cmd; autodim_cmd; spmd_cmd; simulate_cmd; sweep_cmd; search_cmd; chaos_cmd ]))

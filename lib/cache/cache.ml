@@ -1,0 +1,371 @@
+(* Content-addressed memo tables, one LRU shard per domain.  The
+   hot-path contract matches Obs: every entry point first tests
+   [enabled_flag], so a disabled build runs the thunk directly and
+   touches no table (not even the domain-local-storage read). *)
+
+let enabled_flag = ref false
+let enable () = enabled_flag := true
+let disable () = enabled_flag := false
+let enabled () = !enabled_flag
+
+let scoped ?enable:want f =
+  match want with
+  | None -> f ()
+  | Some v ->
+    let prev = !enabled_flag in
+    enabled_flag := v;
+    Fun.protect ~finally:(fun () -> enabled_flag := prev) f
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+(* ------------------------------------------------------------------ *)
+(* LRU shard                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Doubly-linked recency list threaded through the hash table's nodes:
+   [first] is the most recently used entry, [last] the next eviction
+   victim.  All operations are O(1). *)
+type 'v node = {
+  nkey : string;
+  nvalue : 'v;
+  mutable prev : 'v node option; (* towards [first] *)
+  mutable next : 'v node option; (* towards [last] *)
+}
+
+type 'v shard = {
+  tbl : (string, 'v node) Hashtbl.t;
+  mutable first : 'v node option;
+  mutable last : 'v node option;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_evictions : int;
+}
+
+let new_shard () =
+  {
+    tbl = Hashtbl.create 64;
+    first = None;
+    last = None;
+    s_hits = 0;
+    s_misses = 0;
+    s_evictions = 0;
+  }
+
+let unlink sh n =
+  (match n.prev with Some p -> p.next <- n.next | None -> sh.first <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> sh.last <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front sh n =
+  n.prev <- None;
+  n.next <- sh.first;
+  (match sh.first with Some f -> f.prev <- Some n | None -> sh.last <- Some n);
+  sh.first <- Some n
+
+let touch sh n =
+  if sh.first != Some n then begin
+    unlink sh n;
+    push_front sh n
+  end
+
+(* Insert or refresh [key]; evicts the tail when a fresh key would
+   overflow [capacity].  The caller guarantees capacity >= 1. *)
+let put sh ~capacity key value =
+  match Hashtbl.find_opt sh.tbl key with
+  | Some n ->
+    (* same key: the value is a function of the key, keep the old node
+       (values are equal by construction), just refresh recency *)
+    touch sh n
+  | None ->
+    if Hashtbl.length sh.tbl >= capacity then begin
+      (match sh.last with
+      | Some victim ->
+        unlink sh victim;
+        Hashtbl.remove sh.tbl victim.nkey;
+        sh.s_evictions <- sh.s_evictions + 1;
+        Obs.incr "cache.evictions"
+      | None -> ());
+    end;
+    let n = { nkey = key; nvalue = value; prev = None; next = None } in
+    Hashtbl.replace sh.tbl key n;
+    push_front sh n
+
+let shard_clear sh =
+  Hashtbl.reset sh.tbl;
+  sh.first <- None;
+  sh.last <- None;
+  sh.s_hits <- 0;
+  sh.s_misses <- 0;
+  sh.s_evictions <- 0
+
+(* entries oldest-first: replaying them through [put] in this order
+   rebuilds the same recency order *)
+let entries_oldest_first sh =
+  let rec walk acc = function
+    | None -> acc
+    | Some n -> walk ((n.nkey, n.nvalue) :: acc) n.next
+  in
+  walk [] sh.first
+
+(* ------------------------------------------------------------------ *)
+(* Registry of tables                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything the module-level operations (clear, stats, save, load,
+   Worker) need from a table, with the value type hidden behind
+   closures.  Tables are created at module initialization on the main
+   domain, but tests create them dynamically too, so the list is
+   mutex-protected; shard access itself needs no lock (per-domain). *)
+type ops = {
+  o_name : string;
+  o_schema : string;
+  o_persist : bool;
+  o_clear : unit -> unit;
+  o_stats : unit -> stats;
+  (* capture support: swap in a fresh shard, returning an [undo] that
+     restores the previous shard and yields the captured one as a
+     merge closure (run later, on the merging domain). *)
+  o_swap_fresh : unit -> unit -> unit -> unit;
+  (* persistence: marshalled (key, value) pairs, oldest-first *)
+  o_dump : unit -> (string * string) list;
+  o_absorb : (string * string) list -> unit;
+}
+
+let registry : ops list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let registered () =
+  Mutex.lock registry_mutex;
+  let l = !registry in
+  Mutex.unlock registry_mutex;
+  List.rev l
+
+let register o =
+  Mutex.lock registry_mutex;
+  if List.exists (fun r -> r.o_name = o.o_name) !registry then begin
+    Mutex.unlock registry_mutex;
+    invalid_arg ("Cache.Memo.create: duplicate table name " ^ o.o_name)
+  end;
+  registry := o :: !registry;
+  Mutex.unlock registry_mutex
+
+let clear () = List.iter (fun o -> o.o_clear ()) (registered ())
+
+let stats () =
+  List.fold_left
+    (fun acc o ->
+      let s = o.o_stats () in
+      {
+        hits = acc.hits + s.hits;
+        misses = acc.misses + s.misses;
+        evictions = acc.evictions + s.evictions;
+        entries = acc.entries + s.entries;
+      })
+    { hits = 0; misses = 0; evictions = 0; entries = 0 }
+    (registered ())
+
+(* ------------------------------------------------------------------ *)
+(* Memo tables                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Memo = struct
+  type 'a t = {
+    name : string;
+    capacity : int;
+    shard_key : 'a shard Domain.DLS.key;
+  }
+
+  let shard t = Domain.DLS.get t.shard_key
+
+  let create ?(capacity = 1024) ?(persist = true) ~name ~schema () =
+    let capacity = max 1 capacity in
+    let shard_key = Domain.DLS.new_key new_shard in
+    let t = { name; capacity; shard_key } in
+    let o_swap_fresh () =
+      let prev = shard t in
+      Domain.DLS.set shard_key (new_shard ());
+      fun () ->
+        let captured = shard t in
+        Domain.DLS.set shard_key prev;
+        fun () ->
+          (* merge closure, run on the merging domain: replay through
+             the normal insertion path so capacity holds there too *)
+          let dst = shard t in
+          List.iter
+            (fun (k, v) -> put dst ~capacity k v)
+            (entries_oldest_first captured);
+          dst.s_hits <- dst.s_hits + captured.s_hits;
+          dst.s_misses <- dst.s_misses + captured.s_misses;
+          dst.s_evictions <- dst.s_evictions + captured.s_evictions
+    in
+    register
+      {
+        o_name = name;
+        o_schema = schema;
+        o_persist = persist;
+        o_clear = (fun () -> shard_clear (shard t));
+        o_stats =
+          (fun () ->
+            let sh = shard t in
+            {
+              hits = sh.s_hits;
+              misses = sh.s_misses;
+              evictions = sh.s_evictions;
+              entries = Hashtbl.length sh.tbl;
+            });
+        o_swap_fresh;
+        o_dump =
+          (fun () ->
+            List.map
+              (fun (k, v) -> (k, Marshal.to_string v []))
+              (entries_oldest_first (shard t)));
+        o_absorb =
+          (fun pairs ->
+            let sh = shard t in
+            List.iter
+              (fun (k, bytes) ->
+                put sh ~capacity:t.capacity k (Marshal.from_string bytes 0))
+              pairs);
+      };
+    t
+
+  let find_or_compute t ~key f =
+    if not !enabled_flag then f ()
+    else begin
+      let sh = shard t in
+      Obs.incr "cache.lookups";
+      match Hashtbl.find_opt sh.tbl key with
+      | Some n ->
+        sh.s_hits <- sh.s_hits + 1;
+        Obs.incr "cache.hits";
+        touch sh n;
+        n.nvalue
+      | None ->
+        sh.s_misses <- sh.s_misses + 1;
+        Obs.incr "cache.misses";
+        let v = f () in
+        put sh ~capacity:t.capacity key v;
+        v
+    end
+
+  let mem t key = Hashtbl.mem (shard t).tbl key
+  let length t = Hashtbl.length (shard t).tbl
+  let capacity t = t.capacity
+
+  let keys t =
+    let rec walk acc = function
+      | None -> List.rev acc
+      | Some n -> walk (n.nkey :: acc) n.next
+    in
+    walk [] (shard t).first
+
+  let stats t =
+    let sh = shard t in
+    {
+      hits = sh.s_hits;
+      misses = sh.s_misses;
+      evictions = sh.s_evictions;
+      entries = Hashtbl.length sh.tbl;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Parallel workers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Worker = struct
+  (* [None] when the cache was disabled during the capture. *)
+  type snapshot = (unit -> unit) list option
+
+  let capture f =
+    if not !enabled_flag then (f (), None)
+    else begin
+      let undos = List.map (fun o -> o.o_swap_fresh ()) (registered ()) in
+      match f () with
+      | v -> (v, Some (List.map (fun undo -> undo ()) undos))
+      | exception e ->
+        List.iter
+          (fun undo ->
+            let _discarded_merge : unit -> unit = undo () in
+            ())
+          undos;
+        raise e
+    end
+
+  let merge = function
+    | None -> ()
+    | Some merges -> List.iter (fun m -> m ()) merges
+end
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "RESOPTCACHE1"
+
+(* FNV-1a over OCaml's 63-bit ints (the offset basis is the 64-bit one
+   with its top nibble dropped; any fixed odd seed detects corruption
+   equally well as long as save and load agree). *)
+let fnv1a s =
+  let h = ref 0xbf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  !h land max_int
+
+type section = { p_name : string; p_schema : string; p_pairs : (string * string) list }
+
+let save path =
+  let sections =
+    List.filter_map
+      (fun o ->
+        if o.o_persist then
+          Some { p_name = o.o_name; p_schema = o.o_schema; p_pairs = o.o_dump () }
+        else None)
+      (registered ())
+  in
+  let payload = Marshal.to_string sections [] in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "%s\n%016x\n" magic (fnv1a payload);
+      output_string oc payload)
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic -> (
+    let parse () =
+      let line1 = input_line ic in
+      if line1 <> magic then None
+      else begin
+        let sum = input_line ic in
+        let len = in_channel_length ic - pos_in ic in
+        let payload = really_input_string ic len in
+        if Printf.sprintf "%016x" (fnv1a payload) <> sum then None
+        else (Marshal.from_string payload 0 : section list) |> Option.some
+      end
+    in
+    (* a bad file of any flavour — truncated header, checksum
+       mismatch, unmarshalable payload — degrades to a cold cache *)
+    match Fun.protect ~finally:(fun () -> close_in ic) parse with
+    | exception _ -> false
+    | None -> false
+    | Some sections ->
+      let tables = registered () in
+      List.iter
+        (fun s ->
+          match
+            List.find_opt
+              (fun o ->
+                o.o_persist && o.o_name = s.p_name && o.o_schema = s.p_schema)
+              tables
+          with
+          | Some o -> (try o.o_absorb s.p_pairs with _ -> ())
+          | None -> () (* stale or foreign section: skip *))
+        sections;
+      true)

@@ -1,0 +1,150 @@
+(** Dependency-free memoization of repeated solves.
+
+    The pipeline re-solves the same integer-linear-algebra subproblems
+    over and over: every sweep cell runs the Hermite/Smith machinery on
+    matrices earlier cells already reduced, and the decomposition
+    search revisits the same data-flow matrices [T] across workloads.
+    This module gives those hot paths a content-addressed memo table —
+    keyed by a canonical encoding of the input (see
+    {!Linalg.Mat.encode}), size-bounded with LRU eviction — in the
+    same spirit as {!Obs} and {!Par}: standard library only, and zero
+    cost when unused.
+
+    {e Caching never changes results.}  Until {!enable} is called,
+    {!Memo.find_or_compute} calls its thunk directly — one boolean
+    test, no table, no allocation — so cache-off output is
+    byte-identical to a build without this library.  With the cache
+    on, only pure functions are memoized, so every output is
+    byte-identical to cache-off; the CI gate diffs the two.
+
+    Like {!Obs}, the tables are {e per-domain}: each domain reads and
+    writes its own shard (held in [Domain.DLS]), so workers spawned by
+    {!Par} never contend and never need a lock.  {!Worker} mirrors
+    [Obs.Worker]: a parallel runner gives every task a fresh shard and
+    folds what the task cached back into the caller's shard at join,
+    in slot order, so the merged cache state is deterministic.
+
+    An optional on-disk format ({!save} / {!load}) persists the tables
+    across CLI invocations.  The format is versioned and checksummed;
+    a corrupted, truncated or stale file is {e ignored}, never
+    trusted and never fatal. *)
+
+(** {1 Enabling} *)
+
+val enable : unit -> unit
+(** Start serving lookups from (and inserting into) the memo tables.
+    Idempotent. *)
+
+val disable : unit -> unit
+(** Stop.  Table contents are kept (use {!clear} to drop them). *)
+
+val enabled : unit -> bool
+
+val scoped : ?enable:bool -> (unit -> 'a) -> 'a
+(** [scoped ~enable:true f] runs [f] with the cache on, restoring the
+    previous state afterwards (also on exceptions); [~enable:false]
+    forces it off for the scope; omitting [enable] leaves the ambient
+    state alone — this is what the [?cache] optional arguments of
+    {!Resopt.Pipeline.run}, {!Resopt.Sweep.run} and
+    {!Resopt.Cost.of_plan} pass through. *)
+
+val clear : unit -> unit
+(** Drop every entry of every table in the current domain's shards and
+    reset their hit/miss/eviction tallies.  Does not change the
+    enabled flag. *)
+
+(** {1 Statistics} *)
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+(** Tallies for the current domain's shard(s).  [entries] is the
+    current size; the counters are cumulative since the last {!clear}.
+    When recording is on ({!Obs.enabled}), every lookup also feeds the
+    [cache.lookups] / [cache.hits] / [cache.misses] /
+    [cache.evictions] counters, which {!Par} merges across workers
+    like any other metric — after a parallel run,
+    [hits + misses = lookups] still holds. *)
+
+val stats : unit -> stats
+(** Aggregate over every table, current domain. *)
+
+(** {1 Memo tables} *)
+
+module Memo : sig
+  type 'a t
+  (** A typed memo table: canonical string keys to values of one type.
+      Each memoized function owns one table, created once at module
+      initialization. *)
+
+  val create :
+    ?capacity:int -> ?persist:bool -> name:string -> schema:string -> unit -> 'a t
+  (** [capacity] (default 1024, clamped to >= 1) bounds every
+      per-domain shard; the least-recently-used entry is evicted when
+      a fresh key would overflow it.  [persist] (default true) opts
+      the table into {!save} / {!load}; set it to false for values
+      that cannot be marshalled (closures).  [name] must be unique —
+      it keys the on-disk sections — and [schema] is a free-form
+      version tag: bump it whenever the value type or the meaning of
+      the keys changes, and stale persisted sections are skipped on
+      load. *)
+
+  val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a
+  (** The only lookup.  With the cache disabled this is just the
+      thunk.  Enabled: return the cached value for [key] (refreshing
+      its recency) or run the thunk, store the result and return it —
+      evicting the least-recently-used entry if the shard is full.  If
+      the thunk raises, nothing is stored. *)
+
+  val mem : 'a t -> string -> bool
+  (** Current domain, no recency update, no counters. *)
+
+  val length : 'a t -> int
+
+  val capacity : 'a t -> int
+
+  val keys : 'a t -> string list
+  (** Most-recently-used first — the reverse of eviction order. *)
+
+  val stats : 'a t -> stats
+end
+
+(** {1 Parallel workers} *)
+
+module Worker : sig
+  type snapshot
+  (** What one captured task inserted; empty (and free) when the cache
+      was disabled during the capture. *)
+
+  val capture : (unit -> 'a) -> 'a * snapshot
+  (** Run the thunk with a fresh, empty shard per table for the
+      current domain, restoring the previous shards afterwards.
+      Mirrors [Obs.Worker.capture], and {!Par} calls both at the same
+      point.  If the thunk raises, the insertions are dropped and the
+      exception propagates. *)
+
+  val merge : snapshot -> unit
+  (** Fold a snapshot into the current domain's shards: entries are
+      replayed oldest-first through the normal insertion path
+      (capacity and eviction included) and the hit/miss/eviction
+      tallies are summed.  Merging in slot order keeps the caller's
+      shard deterministic. *)
+end
+
+(** {1 Persistence}
+
+    One file holds every persistent table.  Layout: a magic line with
+    the format version, a hex FNV-1a checksum line, then the marshalled
+    sections.  {!load} verifies magic and checksum before unmarshalling
+    anything, and skips sections whose (name, schema) no longer match a
+    registered table, so an old or foreign file degrades to a cold
+    cache, never to a crash. *)
+
+val save : string -> unit
+(** Write the current domain's shards of every [persist] table.
+    Raises [Sys_error] if the file cannot be written. *)
+
+val load : string -> bool
+(** [load file] merges the file's entries into the current domain's
+    shards (through the normal insertion path, so capacities hold) and
+    returns [true]; returns [false] — caching simply starts cold — if
+    the file is missing, truncated, corrupted, from another format
+    version, or fails to unmarshal. *)

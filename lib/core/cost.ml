@@ -88,19 +88,85 @@ let entry_cost ~faults model ~bytes (e : Commplan.entry) =
     decomposed_cost ~faults model ~bytes ~flow factors
   | Commplan.General flow -> general_cost ~faults model ~bytes flow
 
-let of_plan ?(bytes = 64) ?(faults = Machine.Fault.none) model plan =
-  let entries =
-    List.map
-      (fun (e : Commplan.entry) ->
-        {
-          stmt = e.Commplan.stmt;
-          label = e.Commplan.label;
-          class_name = Commplan.classification_name e.Commplan.classification;
-          cost = entry_cost ~faults model ~bytes e;
-        })
-      plan
+(* ------------------------------------------------------------------ *)
+(* Memoization of whole-plan pricing                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Pricing is the per-model work a sweep repeats most: the same
+   (model, plan) pairs come back for every fault rate, every repeated
+   CLI invocation and every baseline comparison.  The key encodes
+   everything [entry_cost] reads — machine parameters, item size,
+   fault schedule and, per entry, exactly the classification fields
+   that reach a cost formula. *)
+let memo : breakdown Cache.Memo.t =
+  Cache.Memo.create ~name:"cost.of_plan" ~schema:"v1" ()
+
+let model_key (model : Machine.Models.t) =
+  let topo = model.Machine.Models.topo in
+  let net = model.Machine.Models.net in
+  Printf.sprintf "%s|%s%s|%h,%h,%h|%s" model.Machine.Models.name
+    (String.concat "x"
+       (List.map string_of_int
+          (Array.to_list topo.Machine.Topology.dims)))
+    (if topo.Machine.Topology.torus then "t" else "m")
+    net.Machine.Netsim.alpha net.Machine.Netsim.beta net.Machine.Netsim.hop
+    (match model.Machine.Models.hw with
+    | None -> "sw"
+    | Some { Machine.Models.coll_alpha; coll_beta } ->
+      Printf.sprintf "hw:%h,%h" coll_alpha coll_beta)
+
+let faults_key f =
+  if Machine.Fault.is_none f then "none"
+  else
+    Printf.sprintf "%d/%d/%s" (Machine.Fault.seed f)
+      (Machine.Fault.max_retries f)
+      (Machine.Fault.to_string (Machine.Fault.specs f))
+
+let entry_key (e : Commplan.entry) =
+  let class_part =
+    match e.Commplan.classification with
+    | Commplan.Local -> "local"
+    | Commplan.Translation _ -> "transl"
+    | Commplan.Reduction _ -> "red"
+    | Commplan.Scatter _ -> "scat"
+    | Commplan.Gather _ -> "gath"
+    | Commplan.Broadcast info -> (
+      match info.Macrocomm.Broadcast.classification with
+      | Macrocomm.Broadcast.Total -> "bcast:total"
+      | Macrocomm.Broadcast.Hidden -> "bcast:hidden"
+      | Macrocomm.Broadcast.Partial -> "bcast:partial")
+    | Commplan.Decomposed { flow; factors } ->
+      Printf.sprintf "dec:%s=%s" (Mat.encode flow)
+        (String.concat "*" (List.map Mat.encode factors))
+    | Commplan.General (Some flow) -> "gen:" ^ Mat.encode flow
+    | Commplan.General None -> "gen"
   in
-  { entries; total = List.fold_left (fun acc e -> acc +. e.cost) 0.0 entries }
+  Printf.sprintf "%s/%s:%s" e.Commplan.stmt e.Commplan.label class_part
+
+let plan_key ~bytes ~faults model plan =
+  Printf.sprintf "%s|b%d|f%s|%s" (model_key model) bytes (faults_key faults)
+    (String.concat ";" (List.map entry_key plan))
+
+let of_plan ?(bytes = 64) ?(faults = Machine.Fault.none) ?cache model plan =
+  Cache.scoped ?enable:cache @@ fun () ->
+  let price () =
+    let entries =
+      List.map
+        (fun (e : Commplan.entry) ->
+          {
+            stmt = e.Commplan.stmt;
+            label = e.Commplan.label;
+            class_name = Commplan.classification_name e.Commplan.classification;
+            cost = entry_cost ~faults model ~bytes e;
+          })
+        plan
+    in
+    { entries; total = List.fold_left (fun acc e -> acc +. e.cost) 0.0 entries }
+  in
+  if not (Cache.enabled ()) then price ()
+  else
+    Cache.Memo.find_or_compute memo ~key:(plan_key ~bytes ~faults model plan)
+      price
 
 let pp ppf b =
   List.iter

@@ -18,8 +18,22 @@ type entry_cost = {
 type breakdown = { entries : entry_cost list; total : float }
 
 val of_plan :
-  ?bytes:int -> ?faults:Machine.Fault.t -> Machine.Models.t -> Commplan.t -> breakdown
+  ?bytes:int ->
+  ?faults:Machine.Fault.t ->
+  ?cache:bool ->
+  Machine.Models.t ->
+  Commplan.t ->
+  breakdown
 (** [bytes] is the item size (default 64).
+
+    [cache] scopes {!Cache} around the pricing ([true] turns the memo
+    tables on for this call, [false] forces them off, omitted inherits
+    the ambient state).  A whole breakdown is memoized under a key
+    covering every input the formulas read — machine name, grid,
+    network parameters, hardware collectives, [bytes], the fault
+    schedule and each entry's priced classification — so a sweep that
+    re-prices the same (model, plan) cell hits instead of re-running
+    the fold simulation.  Cached or not, the result is byte-identical.
 
     [faults] (default {!Machine.Fault.none}, zero-cost) prices the
     plan on the degraded machine: simulated entries (decomposed and

@@ -92,7 +92,8 @@ let eval_cell models fault_rates (w : Workloads.t) m =
 
 let default_fault_rates = [ 0.0; 0.01; 0.05 ]
 
-let run ?jobs ?(ms = [ 2 ]) ?models ?workloads ?faults ?fault_rates () =
+let run ?jobs ?(ms = [ 2 ]) ?models ?workloads ?faults ?fault_rates ?cache () =
+  Cache.scoped ?enable:cache @@ fun () ->
   let models =
     match models with
     | Some l -> l

@@ -44,6 +44,7 @@ val run :
   ?workloads:Workloads.t list ->
   ?faults:Machine.Fault.t ->
   ?fault_rates:float list ->
+  ?cache:bool ->
   unit ->
   row list
 (** Defaults: [ms = [2]], all three machine models, all workloads.
@@ -57,6 +58,13 @@ val run :
     [faults] defaults to {!Machine.Fault.none} when only
     [fault_rates] is given).  Omitting both keeps the rows — and the
     rendered table and CSV — byte-identical to a fault-free sweep.
+
+    [cache] scopes {!Cache} around the whole sweep ([true] memoizes
+    the linear-algebra solves and per-cell pricing, [false] forces the
+    tables off, omitted inherits the ambient state).  Sweeps repeat
+    work aggressively — every cell re-reduces matrices earlier cells
+    already solved — but caching never changes a row: cached output is
+    byte-identical to uncached, with or without [jobs].
 
     [jobs] fans the (workload, m) cells over a {!Par.Pool} of that
     size.  Parallelism never changes the rows: results are assembled

@@ -1,0 +1,15 @@
+(** A point-to-point message between physical ranks.
+
+    The unit of traffic every simulator consumes: {!Netsim} prices
+    lists of these closed-form, {!Eventsim} routes them packet by
+    packet, and {!Patterns} manufactures them from affine flows. *)
+
+type t = { src : int; dst : int; bytes : int }
+
+val make : src:int -> dst:int -> bytes:int -> t
+(** @raise Invalid_argument when [bytes] is negative. *)
+
+val is_local : t -> bool
+(** Source and destination are the same rank: no network traffic. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+(** Shared helpers for the macro-communication detectors: kernel
+    intersections and row counting under allocation matrices.
+    Internal to the macrocomm library. *)
+
+open Linalg
+
+val kernel_intersection : Mat.t list -> Mat.t option
+(** Basis — as an [n x k] matrix of columns — of the intersection of
+    the kernels of the given matrices, which must all have [n]
+    columns.  [None] when the intersection is trivial.
+    @raise Invalid_argument on an empty list. *)
+
+val nonzero_rows : Mat.t -> int
+(** Number of rows with at least one non-zero entry. *)

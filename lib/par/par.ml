@@ -145,25 +145,33 @@ let run_tasks pool n task =
     in
     let snapshots = Array.make slots None in
     Pool.run pool (fun slot ->
-        let (), snap =
+        let ((), cache_snap), obs_snap =
           Obs.Worker.capture ~worker:slot (fun () ->
-              let rec drain () =
-                let start = Atomic.fetch_and_add next chunk in
-                if start < n then begin
-                  let stop = min n (start + chunk) in
-                  for i = start to stop - 1 do
-                    try task i
-                    with e -> record i e (Printexc.get_raw_backtrace ())
-                  done;
-                  drain ()
-                end
-              in
-              drain ())
+              Cache.Worker.capture (fun () ->
+                  let rec drain () =
+                    let start = Atomic.fetch_and_add next chunk in
+                    if start < n then begin
+                      let stop = min n (start + chunk) in
+                      for i = start to stop - 1 do
+                        try task i
+                        with e -> record i e (Printexc.get_raw_backtrace ())
+                      done;
+                      drain ()
+                    end
+                  in
+                  drain ()))
         in
-        snapshots.(slot) <- Some snap);
+        snapshots.(slot) <- Some (obs_snap, cache_snap));
     (* join happened inside [Pool.run]; merge in slot order so the
-       parent registry is deterministic, then re-raise *)
-    Array.iter (function Some s -> Obs.Worker.merge s | None -> ()) snapshots;
+       parent registry and memo shards are deterministic, then
+       re-raise *)
+    Array.iter
+      (function
+        | Some (obs_snap, cache_snap) ->
+          Obs.Worker.merge obs_snap;
+          Cache.Worker.merge cache_snap
+        | None -> ())
+      snapshots;
     match Atomic.get err with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ()
