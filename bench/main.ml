@@ -17,6 +17,30 @@ let cli_jobs : int option ref = ref None
    given; created lazily, shut down at exit *)
 let search_pool : Par.Pool.t option ref = ref None
 
+(* --record: append one Benchstore record per headline metric to the
+   history file (default BENCH_HISTORY.jsonl), for bench-compare.
+   Experiments call [record] unconditionally; without the flag it is a
+   no-op. *)
+let record_enabled = ref false
+let history_file = ref "BENCH_HISTORY.jsonl"
+let git_rev = ref ""
+let run_timestamp = ref ""
+let cur_experiment = ref ""
+let recorded : Obs.Benchstore.record list ref = ref [] (* reverse *)
+
+let record ?jobs ?cache_on ?faults metric value =
+  if !record_enabled then
+    recorded :=
+      Obs.Benchstore.make ?jobs ?cache_on ?faults ~git_rev:!git_rev
+        ~timestamp:!run_timestamp ~experiment:!cur_experiment ~metric value
+      :: !recorded
+
+let iso_utc t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
 let section title =
   Format.printf "@.=============================================================@.";
   Format.printf "== %s@." title;
@@ -42,7 +66,12 @@ let table1 () =
   row "general communication" gen;
   Format.printf "paper's shape: reduction ~ broadcast << translation << general;@.";
   Format.printf "general/broadcast = %.1f (paper: an order of magnitude)@."
-    (gen /. bc)
+    (gen /. bc);
+  record "reduction_time" red;
+  record "broadcast_time" bc;
+  record "translation_time" tr;
+  record "general_time" gen;
+  record "general_over_broadcast_ratio" (gen /. bc)
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: decomposing versus not decomposing on the Paragon          *)
@@ -77,7 +106,12 @@ let table2 () =
     row "U" tu;
     row "L.U" (tl +. tu);
     Format.printf "direct / decomposed = %.2f (paper: decomposing wins)@."
-      (td /. (tl +. tu))
+      (td /. (tl +. tu));
+    record "direct_time" td;
+    record "l_time" tl;
+    record "u_time" tu;
+    record "lu_time" (tl +. tu);
+    record "direct_over_decomposed_ratio" (td /. (tl +. tu))
   | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
@@ -403,7 +437,11 @@ let plancost () =
 
 let sweep () =
   section "Sweep - every workload x machine model, optimized vs baseline";
-  Resopt.Sweep.pp_table Format.std_formatter (Resopt.Sweep.run ?jobs:!cli_jobs ())
+  let rows = Resopt.Sweep.run ?jobs:!cli_jobs () in
+  Resopt.Sweep.pp_table Format.std_formatter rows;
+  List.iter
+    (fun (metric, v) -> record ?jobs:!cli_jobs metric v)
+    (Resopt.Sweep.metrics rows)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel runtime: sequential-vs-parallel sweep speedup              *)
@@ -446,6 +484,9 @@ let parbench () =
         let cps = if t > 0.0 then float_of_int cells /. t else 0.0 in
         let speedup = if t > 0.0 then t1 /. t else 0.0 in
         Format.printf "%5d %10.3f %12.1f %8.2fx %15b@." jobs t cps speedup identical;
+        record ~jobs (Printf.sprintf "jobs%d.seconds" jobs) t;
+        record ~jobs (Printf.sprintf "jobs%d.cells_per_sec" jobs) cps;
+        record ~jobs (Printf.sprintf "jobs%d.speedup" jobs) speedup;
         Printf.sprintf
           "{\"jobs\":%d,\"seconds\":%.6f,\"cells_per_sec\":%.2f,\"speedup\":%.3f,\"rows_identical\":%b}"
           jobs t cps speedup identical)
@@ -528,7 +569,11 @@ let cachebench () =
       cs.Cache.entries
   in
   Obs.write_file "BENCH_cache.json" json;
-  Format.eprintf "cache speedup snapshot written to BENCH_cache.json@."
+  Format.eprintf "cache speedup snapshot written to BENCH_cache.json@.";
+  record ~cache_on:true "sweep.speedup" s_sweep;
+  record ~cache_on:true "search.speedup" s_search;
+  record ~cache_on:true "total.speedup" s_total;
+  record ~cache_on:true "results_identical" (if identical then 1.0 else 0.0)
 
 (* ------------------------------------------------------------------ *)
 (* Event-driven cross-validation of Table 2                            *)
@@ -567,6 +612,10 @@ let eventsim () =
     (float_of_int ev_direct /. float_of_int ev_lu);
   Format.printf "both rank the decomposed sequence first: %b@."
     (closed_lu < closed_direct && ev_lu < ev_direct);
+  record "closed_direct_time" closed_direct;
+  record "closed_decomposed_time" closed_lu;
+  record "ev_direct_cycles" (float_of_int ev_direct);
+  record "ev_decomposed_cycles" (float_of_int ev_lu);
   Format.printf "@.sender-load heatmap of the direct pattern (8x4 mesh):@.%s"
     (Machine.Trace.load_heatmap topo (msgs paper_t))
 
@@ -631,6 +680,19 @@ let faultbench () =
         Format.printf "%-6g %10d %10d %6.2fx %6d %5d %12.1f %12.1f %6.2fx@." rate
           ev_direct.Machine.Eventsim.cycles lu_cycles ev_ratio retx dropped
           cf_direct cf_lu cf_ratio;
+        let frecord metric v =
+          record ~faults:(Machine.Fault.label faults)
+            (Printf.sprintf "rate%g.%s" rate metric)
+            v
+        in
+        frecord "ev_direct_cycles" (float_of_int ev_direct.Machine.Eventsim.cycles);
+        frecord "ev_decomposed_cycles" (float_of_int lu_cycles);
+        frecord "ev_ratio" ev_ratio;
+        frecord "retransmits" (float_of_int retx);
+        frecord "dropped" (float_of_int dropped);
+        frecord "cf_direct" cf_direct;
+        frecord "cf_decomposed" cf_lu;
+        frecord "cf_ratio" cf_ratio;
         Printf.sprintf
           "{\"rate\":%g,\"ev_direct_cycles\":%d,\"ev_decomposed_cycles\":%d,\"ev_ratio\":%.4f,\"retransmits\":%d,\"dropped\":%d,\"cf_direct\":%.2f,\"cf_decomposed\":%.2f,\"cf_ratio\":%.4f}"
           rate ev_direct.Machine.Eventsim.cycles lu_cycles ev_ratio retx dropped
@@ -812,6 +874,7 @@ let experiments =
 let () =
   Obs.set_clock Unix.gettimeofday;
   Obs.enable ();
+  run_timestamp := iso_utc (Unix.gettimeofday ());
   let rec parse_args = function
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with
@@ -820,19 +883,32 @@ let () =
         Format.eprintf "--jobs expects a positive integer, got %s@." n;
         exit 1);
       parse_args rest
+    | "--record" :: rest ->
+      record_enabled := true;
+      parse_args rest
+    | "--history" :: f :: rest ->
+      history_file := f;
+      parse_args rest
+    | "--rev" :: r :: rest ->
+      git_rev := r;
+      parse_args rest
     | rest -> rest
   in
   let names = parse_args (List.tl (Array.to_list Sys.argv)) in
   (match !cli_jobs with
   | Some j when j > 1 -> search_pool := Some (Par.Pool.create ~jobs:j ())
   | _ -> ());
+  let run_one (name, f) =
+    cur_experiment := name;
+    f ()
+  in
   (match names with
-  | [] -> List.iter (fun (_, f) -> f ()) experiments
+  | [] -> List.iter run_one experiments
   | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
-        | Some f -> f ()
+        | Some f -> run_one (name, f)
         | None ->
           Format.eprintf "unknown experiment %s; known:%s@." name
             (String.concat " "
@@ -841,4 +917,10 @@ let () =
       names);
   Option.iter Par.Pool.shutdown !search_pool;
   Obs.write_file "BENCH_obs.json" (Obs.metrics_json ());
-  Format.eprintf "metrics snapshot written to BENCH_obs.json@."
+  Format.eprintf "metrics snapshot written to BENCH_obs.json@.";
+  if !record_enabled then begin
+    let records = List.rev !recorded in
+    Obs.Benchstore.append !history_file records;
+    Format.eprintf "%d bench records appended to %s@." (List.length records)
+      !history_file
+  end

@@ -341,7 +341,8 @@ let fuzz_cmd =
   let seed_arg =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed.")
   in
-  let run count seed jobs cache =
+  let run count seed jobs cache obs =
+    with_obs obs @@ fun () ->
     with_cache cache @@ fun () ->
     let nests = Nestir.Gennest.generate_many ~seed ~count in
     let verdict nest =
@@ -370,7 +371,7 @@ let fuzz_cmd =
     if !failed > 0 then exit 1
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
-    Term.(const run $ count_arg $ seed_arg $ jobs_arg $ cache_term)
+    Term.(const run $ count_arg $ seed_arg $ jobs_arg $ cache_term $ obs_term)
 
 let chaos_cmd =
   let doc =
@@ -555,17 +556,171 @@ let search_cmd =
   Cmd.v (Cmd.info "search" ~doc)
     Term.(const run $ bound_arg $ jobs_arg $ cache_term $ obs_term)
 
-let report_cmd =
-  let doc = "Full markdown report: plan, validation, costs, directives." in
-  let run name m =
-    let w = find_workload name in
-    let r =
+(* The flows a workload's optimized plan leaves on the wire — the same
+   extraction the chaos command uses, falling back to the paper's T so
+   the report always has traffic to render. *)
+let residual_flows w m =
+  let of_plan plan =
+    List.filter_map
+      (fun (e : Resopt.Commplan.entry) ->
+        match e.Resopt.Commplan.classification with
+        | Resopt.Commplan.General (Some f)
+        | Resopt.Commplan.Decomposed { flow = f; _ }
+          when Linalg.Mat.rows f = 2 && Linalg.Mat.cols f = 2 ->
+          Some f
+        | _ -> None)
+      plan
+  in
+  let flows =
+    match
       Resopt.Pipeline.run ~m ~schedule:w.Resopt.Workloads.schedule
         w.Resopt.Workloads.nest
-    in
-    print_string (Resopt.Report.markdown r)
+    with
+    | r -> of_plan r.Resopt.Pipeline.plan
+    | exception _ -> []
   in
-  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ workload_arg $ m_arg)
+  if flows = [] then [ Linalg.Mat.of_lists [ [ 1; 2 ]; [ 3; 7 ] ] ] else flows
+
+let report_cmd =
+  let doc =
+    "Full markdown report: plan, validation, costs, directives.  With \
+     $(b,--net), instead render the network-telemetry report of the \
+     workload's residual traffic simulated on a grid: per-link ASCII \
+     heatmap, latency / queue-wait percentiles and load Gini, \
+     optionally also as an HTML dashboard."
+  in
+  let net_arg =
+    let doc =
+      "Simulate the workload's residual flows on the event simulator \
+       with telemetry on and print the link heatmap + percentile \
+       report instead of the markdown report."
+    in
+    Arg.(value & flag & info [ "net" ] ~doc)
+  in
+  let grid_arg =
+    let doc = "Physical grid for $(b,--net), as $(i,P)x$(i,Q)." in
+    Arg.(value & opt string "8x8" & info [ "grid" ] ~docv:"PxQ" ~doc)
+  in
+  let mesh_arg =
+    let doc = "Use a mesh instead of the default torus (with $(b,--net))." in
+    Arg.(value & flag & info [ "mesh" ] ~doc)
+  in
+  let bytes_arg =
+    let doc = "Bytes per message (with $(b,--net))." in
+    Arg.(value & opt int 64 & info [ "bytes" ] ~docv:"B" ~doc)
+  in
+  let html_arg =
+    let doc =
+      "Also write the telemetry as a self-contained HTML dashboard to \
+       $(docv) (with $(b,--net)): embedded JSON + inline JS, no \
+       external assets."
+    in
+    Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE" ~doc)
+  in
+  let net_report w name m grid mesh bytes html faults =
+    let dims =
+      match
+        List.map int_of_string_opt (String.split_on_char 'x' grid)
+      with
+      | [ Some p; Some q ] when p > 0 && q > 0 -> [| p; q |]
+      | _ ->
+        Format.eprintf "bad --grid %s (expected PxQ)@." grid;
+        exit 1
+    in
+    let topo = Machine.Topology.make ~torus:(not mesh) dims in
+    let vgrid = [| dims.(0) * 2; dims.(1) * 2 |] in
+    let layout = Distrib.Layout.all_cyclic 2 in
+    let place v = Distrib.Layout.place layout ~vgrid ~topo v in
+    let msgs =
+      List.concat_map
+        (fun flow ->
+          Machine.Patterns.affine_messages ~vgrid ~flow ~bytes ~place ())
+        (residual_flows w m)
+    in
+    Obs.Telemetry.enable ();
+    (try
+       ignore
+         (Machine.Eventsim.run ?faults ~label:name topo
+            Machine.Eventsim.default_params msgs
+           : Machine.Eventsim.result)
+     with Machine.Eventsim.Deadlock { cycles; in_flight } ->
+       Format.eprintf
+         "report: simulation deadlocked after %d cycles with %d packets in \
+          flight@."
+         cycles in_flight;
+       exit 2);
+    (match Obs.Telemetry.last_run () with
+    | Some run -> print_string (Obs.Telemetry.render_ascii run)
+    | None -> ());
+    match html with
+    | None -> ()
+    | Some file ->
+      Obs.write_file file (Obs.Telemetry.render_html (Obs.Telemetry.runs ()));
+      Format.eprintf "dashboard written to %s@." file
+  in
+  let run name m net grid mesh bytes html faults obs =
+    let w = find_workload name in
+    with_obs obs @@ fun () ->
+    if net then net_report w name m grid mesh bytes html faults
+    else
+      let r =
+        Resopt.Pipeline.run ~m ~schedule:w.Resopt.Workloads.schedule
+          w.Resopt.Workloads.nest
+      in
+      print_string (Resopt.Report.markdown r)
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      const run $ workload_arg $ m_arg $ net_arg $ grid_arg $ mesh_arg
+      $ bytes_arg $ html_arg $ faults_term $ obs_term)
+
+let bench_compare_cmd =
+  let doc =
+    "Compare benchmark metrics against a baseline and exit nonzero on \
+     regression.  Both files may be a $(b,BENCH_HISTORY.jsonl) history \
+     (the latest record per metric wins) or a committed \
+     $(b,BENCH_*.json) snapshot (numeric leaves flattened to dotted \
+     paths); the format is auto-detected."
+  in
+  let baseline_arg =
+    let doc = "Baseline metric file." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE" ~doc)
+  in
+  let current_arg =
+    let doc = "Current metric file (default $(b,BENCH_HISTORY.jsonl))." in
+    Arg.(
+      value
+      & opt string "BENCH_HISTORY.jsonl"
+      & info [ "current" ] ~docv:"FILE" ~doc)
+  in
+  let threshold_arg =
+    let doc =
+      "Tolerated relative change per metric; a change of exactly \
+       $(docv) still passes (the inequality is strict)."
+    in
+    Arg.(value & opt float 0.3 & info [ "threshold" ] ~docv:"T" ~doc)
+  in
+  let run baseline current threshold =
+    let load what file =
+      try Obs.Benchstore.load_metrics file
+      with
+      | Sys_error msg ->
+        Format.eprintf "cannot read %s file: %s@." what msg;
+        exit 2
+      | Obs.Benchstore.Parse_error msg ->
+        Format.eprintf "cannot parse %s file %s: %s@." what file msg;
+        exit 2
+    in
+    let base = load "baseline" baseline in
+    let cur = load "current" current in
+    let comps =
+      Obs.Benchstore.compare_metrics ~threshold ~baseline:base ~current:cur ()
+    in
+    print_string (Obs.Benchstore.render_report ~threshold comps);
+    if Obs.Benchstore.failures comps <> [] then exit 1
+  in
+  Cmd.v (Cmd.info "bench-compare" ~doc)
+    Term.(const run $ baseline_arg $ current_arg $ threshold_arg)
 
 let simulate_cmd =
   let doc =
@@ -608,6 +763,9 @@ let simulate_cmd =
     Term.(const run $ k_arg $ layout_arg $ faults_term $ obs_term)
 
 let () =
+  (* Wall-clock spans everywhere: the default Sys.time is processor
+     time, which undercounts anything spent inside Par workers. *)
+  Obs.set_clock Unix.gettimeofday;
   let doc = "Optimize residual communications of affine loop nests (Dion, Randriamaro, Robert 1996)." in
   let info = Cmd.info "resopt-cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; graph_cmd; codegen_cmd; parse_cmd; compile_cmd; report_cmd; fuzz_cmd; autodim_cmd; spmd_cmd; simulate_cmd; sweep_cmd; search_cmd; chaos_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; graph_cmd; codegen_cmd; parse_cmd; compile_cmd; report_cmd; fuzz_cmd; autodim_cmd; spmd_cmd; simulate_cmd; sweep_cmd; search_cmd; chaos_cmd; bench_compare_cmd ]))

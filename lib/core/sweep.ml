@@ -161,3 +161,23 @@ let to_csv rows =
       Buffer.add_char buf '\n')
     rows;
   Buffer.contents buf
+
+(* Deterministic aggregates for benchmark recording: no timings, only
+   the columns that diff clean across runs and job counts. *)
+let metrics rows =
+  let models = List.sort_uniq compare (List.map (fun r -> r.model) rows) in
+  let per_model name =
+    let rs = List.filter (fun r -> r.model = name) rows in
+    let opt = List.fold_left (fun acc r -> acc +. r.optimized) 0.0 rs in
+    let base = List.fold_left (fun acc r -> acc +. r.baseline) 0.0 rs in
+    [
+      (Printf.sprintf "%s.gain" name, (if opt > 0.0 then base /. opt else 0.0));
+      (Printf.sprintf "%s.optimized_cost" name, opt);
+    ]
+  in
+  (("rows", float_of_int (List.length rows))
+   :: ( "validated",
+        float_of_int (List.length (List.filter (fun r -> r.validated) rows)) )
+   :: ( "non_local",
+        float_of_int (List.fold_left (fun acc r -> acc + r.non_local) 0 rows) )
+   :: List.concat_map per_model models)

@@ -92,3 +92,10 @@ val to_csv : row list -> string
     rate is appended after [validated]; fault pricing is deterministic
     for a given seed + spec, so the CSV still diffs clean across
     repeated runs and job counts. *)
+
+val metrics : row list -> (string * float) list
+(** Deterministic aggregates of a sweep for benchmark recording
+    ({!Obs.Benchstore}): row / validated / non-local totals plus, per
+    machine model, the aggregate gain (summed baseline over summed
+    optimized cost) and the summed optimized cost.  No timing fields,
+    so the values are stable across runs and [jobs] levels. *)

@@ -43,6 +43,7 @@ type packet = {
   mutable hop : int;  (* index of the link currently being crossed *)
   mutable remaining : int;  (* bytes left on the current link *)
   mutable attempts : int;  (* failed attempts on the current hop *)
+  mutable enq : int;  (* cycle of the last enqueue, for queue-wait telemetry *)
 }
 
 type link_state = {
@@ -51,10 +52,86 @@ type link_state = {
   rate : int;  (* bytes per cycle, after degradation *)
 }
 
-(* Split the remote messages into routable packkets-to-be and
+(* ------------------------------------------------------------------ *)
+(* Telemetry plumbing (only touched when Obs.Telemetry is enabled)     *)
+(* ------------------------------------------------------------------ *)
+
+type tlink = {
+  mutable t_busy : int;
+  mutable t_carried : int;
+  mutable t_packets : int;
+  mutable t_peak : int;
+  mutable t_area : int;
+  mutable t_stall : int;
+}
+
+let tstat tbl l =
+  match Hashtbl.find_opt tbl l with
+  | Some t -> t
+  | None ->
+    let t =
+      { t_busy = 0; t_carried = 0; t_packets = 0; t_peak = 0; t_area = 0; t_stall = 0 }
+    in
+    Hashtbl.replace tbl l t;
+    t
+
+let tele_links tbl =
+  List.map
+    (fun ((a, b), t) ->
+      {
+        Obs.Telemetry.link_src = a;
+        link_dst = b;
+        busy = t.t_busy;
+        carried = t.t_carried;
+        packets = t.t_packets;
+        peak_queue = t.t_peak;
+        queue_area = t.t_area;
+        stalled = t.t_stall;
+      })
+    (List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []))
+
+let tele_message ?(injected_at = -1) ?(finished_at = -1) ?(hops = 0)
+    ?(queue_wait = 0) ?(retransmits = 0) (m : Message.t) outcome =
+  {
+    Obs.Telemetry.msg_src = m.Message.src;
+    msg_dst = m.Message.dst;
+    msg_bytes = m.Message.bytes;
+    injected_at;
+    finished_at;
+    hops;
+    queue_wait;
+    retransmits;
+    outcome;
+  }
+
+let local_records locals =
+  List.map
+    (fun m -> tele_message ~injected_at:0 ~finished_at:0 m Obs.Telemetry.Delivered)
+    locals
+
+let unreachable_records msgs =
+  List.map (fun m -> tele_message m Obs.Telemetry.Unreachable) msgs
+
+let max_events = 20_000
+
+let tele_run ~sim ~label ~(topo : Topology.t) ~faults ~total_cycles ~messages
+    ~links ~events =
+  {
+    Obs.Telemetry.sim;
+    label;
+    dims = Array.copy topo.Topology.dims;
+    torus = topo.Topology.torus;
+    total_cycles;
+    fault_spec = Fault.label faults;
+    messages;
+    links;
+    events;
+  }
+
+(* Split the remote messages into routable packets-to-be and
    unreachable ones (dead endpoint, or every path severed). *)
 let classify_remote faults topo remote =
-  let unreachable = ref 0 in
+  let unreachable = ref [] in
   let routable =
     List.filter_map
       (fun (m : Message.t) ->
@@ -64,12 +141,12 @@ let classify_remote faults topo remote =
              match Fault.route faults topo ~src:m.Message.src ~dst:m.Message.dst with
              | Some path -> Some (m, path)
              | None ->
-               incr unreachable;
+               unreachable := m :: !unreachable;
                if Obs.enabled () then Obs.incr "fault.injected";
                None)
       remote
   in
-  (routable, !unreachable)
+  (routable, List.rev !unreachable)
 
 let effective_rate faults params l =
   if Fault.is_none faults then params.bytes_per_cycle
@@ -85,10 +162,24 @@ let effective_rate faults params l =
    [hops + ceil(bytes / bw)] cycles.  Per-packet drops are not
    modelled here (a circuit either holds or it does not); dead nodes,
    severed links and degraded bandwidth are. *)
-let run_wormhole faults topo params msgs =
-  let remote = List.filter (fun m -> not (Message.is_local m)) msgs in
-  let n_local = List.length msgs - List.length remote in
-  let routable, unreachable = classify_remote faults topo remote in
+let run_wormhole ~label faults topo params msgs =
+  let remote, locals = List.partition (fun m -> not (Message.is_local m)) msgs in
+  let n_local = List.length locals in
+  let routable, unreachable_msgs = classify_remote faults topo remote in
+  let unreachable = List.length unreachable_msgs in
+  let tele = Obs.Telemetry.enabled () in
+  let tstats : (int * int, tlink) Hashtbl.t = Hashtbl.create 64 in
+  let t_msgs = ref [] (* reverse *) in
+  let t_events = ref [] (* reverse *) in
+  let t_ev_count = ref 0 in
+  let push_event cycle kind id =
+    if !t_ev_count < max_events then begin
+      t_events :=
+        { Obs.Telemetry.ev_cycle = cycle; ev_kind = kind; ev_msg = id }
+        :: !t_events;
+      incr t_ev_count
+    end
+  in
   let next_inject : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let link_free : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
   (* done-times per link, to measure true queue depth: how many
@@ -99,8 +190,11 @@ let run_wormhole faults topo params msgs =
   let busy = ref 0 in
   let max_queue = ref 0 in
   let max_wait = ref 0 in
+  let idx = ref 0 in
   List.iter
     (fun ((m : Message.t), path) ->
+      let id = !idx in
+      incr idx;
       let inject =
         Option.value ~default:params.startup_cycles
           (Hashtbl.find_opt next_inject m.Message.src)
@@ -115,7 +209,12 @@ let run_wormhole faults topo params msgs =
         List.fold_left
           (fun acc l ->
             let pend = Option.value ~default:[] (Hashtbl.find_opt link_pending l) in
-            max acc (List.length (List.filter (fun d -> d > inject) pend)))
+            let d = List.length (List.filter (fun d -> d > inject) pend) in
+            if tele then begin
+              let t = tstat tstats l in
+              if d > t.t_peak then t.t_peak <- d
+            end;
+            max acc d)
           0 path
       in
       if depth > !max_queue then max_queue := depth;
@@ -136,8 +235,32 @@ let run_wormhole faults topo params msgs =
         path;
       busy := !busy + (duration * List.length path);
       if start - inject > !max_wait then max_wait := start - inject;
-      if done_at > !finish then finish := done_at)
+      if done_at > !finish then finish := done_at;
+      if tele then begin
+        t_msgs :=
+          tele_message ~injected_at:inject ~finished_at:done_at
+            ~hops:(List.length path) ~queue_wait:(start - inject) m
+            Obs.Telemetry.Delivered
+          :: !t_msgs;
+        List.iter
+          (fun l ->
+            let t = tstat tstats l in
+            t.t_busy <- t.t_busy + duration;
+            t.t_carried <- t.t_carried + max 1 m.Message.bytes;
+            t.t_packets <- t.t_packets + 1)
+          path;
+        push_event inject "inject" id;
+        push_event done_at "deliver" id
+      end)
     routable;
+  if tele then
+    Obs.Telemetry.record_run
+      (tele_run ~sim:"eventsim-wormhole" ~label ~topo ~faults
+         ~total_cycles:!finish
+         ~messages:
+           (local_records locals @ List.rev !t_msgs
+           @ unreachable_records unreachable_msgs)
+         ~links:(tele_links tstats) ~events:(List.rev !t_events));
   {
     cycles = !finish;
     delivered = List.length routable + n_local;
@@ -149,16 +272,19 @@ let run_wormhole faults topo params msgs =
     total_link_busy = !busy;
   }
 
-let run ?(faults = Fault.none) ?sampler ?(sample_every = 64) topo params msgs =
+let run ?(faults = Fault.none) ?(label = "") ?sampler ?(sample_every = 64) topo
+    params msgs =
   if params.bytes_per_cycle <= 0 || params.startup_cycles < 0 then
     invalid_arg "Eventsim.run: bad parameters";
   if sample_every <= 0 then invalid_arg "Eventsim.run: sample_every <= 0";
-  if params.mode = Wormhole then record_result (run_wormhole faults topo params msgs)
+  if params.mode = Wormhole then
+    record_result (run_wormhole ~label faults topo params msgs)
   else begin
   let faults_active = not (Fault.is_none faults) in
-  let remote = List.filter (fun m -> not (Message.is_local m)) msgs in
-  let n_local = List.length msgs - List.length remote in
-  let routable, unreachable = classify_remote faults topo remote in
+  let remote, locals = List.partition (fun m -> not (Message.is_local m)) msgs in
+  let n_local = List.length locals in
+  let routable, unreachable_msgs = classify_remote faults topo remote in
+  let unreachable = List.length unreachable_msgs in
   (* injection schedule: per sender, messages go out one every
      startup_cycles, in list order *)
   let next_inject : (int, int) Hashtbl.t = Hashtbl.create 16 in
@@ -180,6 +306,7 @@ let run ?(faults = Fault.none) ?sampler ?(sample_every = 64) topo params msgs =
             hop = 0;
             remaining = max 1 m.Message.bytes;
             attempts = 0;
+            enq = 0;
           } ))
       routable
   in
@@ -208,24 +335,53 @@ let run ?(faults = Fault.none) ?sampler ?(sample_every = 64) topo params msgs =
   let busy = ref 0 in
   let pending = ref injections in
   let cycle = ref 0 in
+  (* Per-message lifecycle state, only filled when telemetry is on. *)
+  let tele = Obs.Telemetry.enabled () in
+  let tsize = if tele then total else 0 in
+  let m_inject = Array.make tsize (-1) in
+  let m_finish = Array.make tsize (-1) in
+  let m_hops = Array.make tsize 0 in
+  let m_qwait = Array.make tsize 0 in
+  let m_retrans = Array.make tsize 0 in
+  let m_outcome = Array.make tsize Obs.Telemetry.Dropped in
+  let tstats : (int * int, tlink) Hashtbl.t = Hashtbl.create 64 in
+  let t_events = ref [] (* reverse *) in
+  let t_ev_count = ref 0 in
+  let push_event kind id =
+    if !t_ev_count < max_events then begin
+      t_events :=
+        { Obs.Telemetry.ev_cycle = !cycle; ev_kind = kind; ev_msg = id }
+        :: !t_events;
+      incr t_ev_count
+    end
+  in
   let enqueue p =
     let l = link p.route.(p.hop) in
     Queue.push p l.queue;
     let depth = Queue.length l.queue in
-    if depth > !max_queue then max_queue := depth
+    if depth > !max_queue then max_queue := depth;
+    if tele then begin
+      p.enq <- !cycle;
+      let t = tstat tstats p.route.(p.hop) in
+      if depth > t.t_peak then t.t_peak <- depth
+    end
   in
   (* Per-cycle observation: queue depths and link occupancy, sampled
      every [sample_every] cycles.  Costs one modulo per cycle when
      neither a sampler nor Obs recording is active. *)
-  let observing = sampler <> None || Obs.enabled () in
+  let observing = sampler <> None || Obs.enabled () || tele in
   let take_sample () =
     let busy_links = ref 0 and max_q = ref 0 and in_flight = ref 0 in
     Hashtbl.iter
-      (fun _ s ->
+      (fun lkey s ->
         (match s.current with Some _ -> incr busy_links | None -> ());
         let d = Queue.length s.queue in
         in_flight := !in_flight + d + (match s.current with Some _ -> 1 | None -> 0);
-        if d > !max_q then max_q := d)
+        if d > !max_q then max_q := d;
+        if tele && d > 0 then begin
+          let t = tstat tstats lkey in
+          t.t_area <- t.t_area + d
+        end)
       links;
     let smp =
       {
@@ -256,22 +412,47 @@ let run ?(faults = Fault.none) ?sampler ?(sample_every = 64) topo params msgs =
        backed-off retransmissions alike) *)
     let now, later = List.partition (fun (t, _) -> t <= !cycle) !pending in
     pending := later;
-    List.iter (fun (_, p) -> enqueue p) now;
+    List.iter
+      (fun (_, p) ->
+        if tele && m_inject.(p.id) < 0 then begin
+          m_inject.(p.id) <- !cycle;
+          push_event "inject" p.id
+        end;
+        enqueue p)
+      now;
     (* each link transmits *)
     Hashtbl.iter
       (fun lkey s ->
-        if faults_active && Fault.link_down faults ~cycle:!cycle lkey then ()
+        if faults_active && Fault.link_down faults ~cycle:!cycle lkey then begin
+          if tele then begin
+            let t = tstat tstats lkey in
+            t.t_stall <- t.t_stall + 1
+          end
+        end
         else begin
           (match s.current with
-          | None -> if not (Queue.is_empty s.queue) then s.current <- Some (Queue.pop s.queue)
+          | None ->
+            if not (Queue.is_empty s.queue) then begin
+              let p = Queue.pop s.queue in
+              if tele then m_qwait.(p.id) <- m_qwait.(p.id) + (!cycle - p.enq);
+              s.current <- Some p
+            end
           | Some _ -> ());
           match s.current with
           | None -> ()
           | Some p ->
             incr busy;
+            if tele then begin
+              let t = tstat tstats lkey in
+              t.t_busy <- t.t_busy + 1
+            end;
             p.remaining <- p.remaining - s.rate;
             if p.remaining <= 0 then begin
               s.current <- None;
+              if tele then begin
+                let t = tstat tstats lkey in
+                t.t_carried <- t.t_carried + p.bytes
+              end;
               if
                 faults_active
                 && Fault.drops faults ~packet:p.id ~hop:p.hop ~attempt:p.attempts
@@ -282,13 +463,24 @@ let run ?(faults = Fault.none) ?sampler ?(sample_every = 64) topo params msgs =
                    backoff, up to the retry cap *)
                 p.attempts <- p.attempts + 1;
                 if Obs.enabled () then Obs.incr "fault.injected";
-                if p.attempts > Fault.max_retries faults then incr dropped
+                if p.attempts > Fault.max_retries faults then begin
+                  incr dropped;
+                  if tele then begin
+                    m_outcome.(p.id) <- Obs.Telemetry.Dropped;
+                    m_finish.(p.id) <- !cycle;
+                    push_event "drop" p.id
+                  end
+                end
                 else begin
                   incr retransmits;
                   let wait = Fault.backoff faults ~attempt:p.attempts in
                   if Obs.enabled () then begin
                     Obs.incr "eventsim.retransmits";
                     Obs.observe "eventsim.backoff_ms" (float_of_int wait)
+                  end;
+                  if tele then begin
+                    m_retrans.(p.id) <- m_retrans.(p.id) + 1;
+                    push_event "retransmit" p.id
                   end;
                   p.remaining <- p.bytes;
                   pending := (!cycle + wait, p) :: !pending
@@ -297,8 +489,21 @@ let run ?(faults = Fault.none) ?sampler ?(sample_every = 64) topo params msgs =
               else begin
                 p.hop <- p.hop + 1;
                 p.attempts <- 0;
-                if p.hop >= Array.length p.route then incr delivered
+                if tele then begin
+                  m_hops.(p.id) <- m_hops.(p.id) + 1;
+                  let t = tstat tstats lkey in
+                  t.t_packets <- t.t_packets + 1
+                end;
+                if p.hop >= Array.length p.route then begin
+                  incr delivered;
+                  if tele then begin
+                    m_outcome.(p.id) <- Obs.Telemetry.Delivered;
+                    m_finish.(p.id) <- !cycle;
+                    push_event "deliver" p.id
+                  end
+                end
                 else begin
+                  if tele then push_event "hop" p.id;
                   p.remaining <- p.bytes;
                   enqueue p
                 end
@@ -308,6 +513,20 @@ let run ?(faults = Fault.none) ?sampler ?(sample_every = 64) topo params msgs =
       links;
     incr cycle
   done;
+  if tele then
+    Obs.Telemetry.record_run
+      (tele_run ~sim:"eventsim" ~label ~topo ~faults ~total_cycles:!cycle
+         ~messages:
+           (local_records locals
+           @ List.mapi
+               (fun id ((m : Message.t), _) ->
+                 tele_message ~injected_at:m_inject.(id)
+                   ~finished_at:m_finish.(id) ~hops:m_hops.(id)
+                   ~queue_wait:m_qwait.(id) ~retransmits:m_retrans.(id) m
+                   m_outcome.(id))
+               routable
+           @ unreachable_records unreachable_msgs)
+         ~links:(tele_links tstats) ~events:(List.rev !t_events));
   record_result
     {
       cycles = !cycle;

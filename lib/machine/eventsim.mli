@@ -81,6 +81,7 @@ type sample = {
 
 val run :
   ?faults:Fault.t ->
+  ?label:string ->
   ?sampler:(sample -> unit) ->
   ?sample_every:int ->
   Topology.t ->
@@ -98,6 +99,13 @@ val run :
     dead nodes, severed links and degraded bandwidth apply, but
     per-packet drops do not (a circuit either holds or is never
     built), so [dropped = retransmits = 0] there.
+
+    When {!Obs.Telemetry.enabled}, both modes additionally record one
+    {!Obs.Telemetry.run} (sim ["eventsim"] or ["eventsim-wormhole"],
+    tagged with [label]): per-message lifecycles (inject cycle,
+    queue-wait, hops, retransmits, outcome), per-link busy/carried/
+    peak-queue/stall series, and a bounded event log.  With telemetry
+    disabled none of those branches execute and results are identical.
 
     [sampler] (store-and-forward mode only — wormhole is not
     cycle-stepped) is called every [sample_every] cycles (default 64)

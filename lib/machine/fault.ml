@@ -269,6 +269,8 @@ let spec_to_string = function
 
 let to_string specs = String.concat ";" (List.map spec_to_string specs)
 
+let label t = if is_none t then "" else to_string t.specs
+
 (* ------------------------------------------------------------------ *)
 (* Random schedules for chaos testing                                  *)
 (* ------------------------------------------------------------------ *)

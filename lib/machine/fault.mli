@@ -98,6 +98,10 @@ val parse : string -> (spec list, string) result
 val to_string : spec list -> string
 (** Round-trips through {!parse}. *)
 
+val label : t -> string
+(** The model's spec grammar string, [""] for {!none} — the fault tag
+    telemetry runs carry. *)
+
 (** {1 Queries} *)
 
 val node_dead : t -> int -> bool

@@ -59,8 +59,9 @@ let coalesce_messages msgs =
     msgs;
   Hashtbl.fold (fun (src, dst) bytes acc -> Message.make ~src ~dst ~bytes :: acc) tbl []
 
-let run ?(coalesce = true) ?(faults = Fault.none) topo params msgs =
-  let remote = List.filter (fun m -> not (Message.is_local m)) msgs in
+let run ?(coalesce = true) ?(faults = Fault.none) ?(label = "") topo params msgs
+    =
+  let remote, locals = List.partition (fun m -> not (Message.is_local m)) msgs in
   let remote = if coalesce then coalesce_messages remote else remote in
   let n = Topology.size topo in
   let send = Array.make n 0 and recv = Array.make n 0 in
@@ -68,12 +69,29 @@ let run ?(coalesce = true) ?(faults = Fault.none) topo params msgs =
   let unreachable = ref 0 in
   let priced = ref 0 in
   let loads : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let tele = Obs.Telemetry.enabled () in
+  let t_msgs = ref [] (* reverse *) in
+  let t_packets : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let tele_message hops (m : Message.t) outcome =
+    {
+      Obs.Telemetry.msg_src = m.Message.src;
+      msg_dst = m.Message.dst;
+      msg_bytes = m.Message.bytes;
+      injected_at = (match outcome with Obs.Telemetry.Unreachable -> -1 | _ -> 0);
+      finished_at = (match outcome with Obs.Telemetry.Unreachable -> -1 | _ -> 0);
+      hops;
+      queue_wait = 0;
+      retransmits = 0;
+      outcome;
+    }
+  in
   List.iter
     (fun (m : Message.t) ->
       match route_of faults topo m with
       | None ->
         incr unreachable;
-        if Obs.enabled () then Obs.incr "fault.injected"
+        if Obs.enabled () then Obs.incr "fault.injected";
+        if tele then t_msgs := tele_message 0 m Obs.Telemetry.Unreachable :: !t_msgs
       | Some path ->
         incr priced;
         send.(m.Message.src) <- send.(m.Message.src) + 1;
@@ -83,7 +101,15 @@ let run ?(coalesce = true) ?(faults = Fault.none) topo params msgs =
         let h = List.length path in
         total_hops := !total_hops + h;
         if h > !max_hops then max_hops := h;
-        add_route_loads faults loads m.Message.bytes path)
+        add_route_loads faults loads m.Message.bytes path;
+        if tele then begin
+          t_msgs := tele_message h m Obs.Telemetry.Delivered :: !t_msgs;
+          List.iter
+            (fun l ->
+              Hashtbl.replace t_packets l
+                (1 + Option.value ~default:0 (Hashtbl.find_opt t_packets l)))
+            path
+        end)
     remote;
   let max_link_load = Hashtbl.fold (fun _ v acc -> max v acc) loads 0 in
   let max_sender = Array.fold_left max 0 send in
@@ -101,6 +127,37 @@ let run ?(coalesce = true) ?(faults = Fault.none) topo params msgs =
     Obs.incr ~by:!priced "netsim.messages";
     Obs.observe "netsim.time" time;
     Obs.observe "netsim.max_link_load" (float_of_int max_link_load)
+  end;
+  if tele then begin
+    let links =
+      List.map
+        (fun ((a, b), carried) ->
+          {
+            Obs.Telemetry.link_src = a;
+            link_dst = b;
+            busy = 0;
+            carried;
+            packets = Option.value ~default:0 (Hashtbl.find_opt t_packets (a, b));
+            peak_queue = 0;
+            queue_area = 0;
+            stalled = 0;
+          })
+        (List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) loads []))
+    in
+    Obs.Telemetry.record_run
+      {
+        Obs.Telemetry.sim = "netsim";
+        label;
+        dims = Array.copy topo.Topology.dims;
+        torus = topo.Topology.torus;
+        total_cycles = 0;
+        fault_spec = Fault.label faults;
+        messages =
+          List.map (fun m -> tele_message 0 m Obs.Telemetry.Delivered) locals
+          @ List.rev !t_msgs;
+        links;
+        events = [];
+      }
   end;
   {
     time;

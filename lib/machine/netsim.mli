@@ -45,7 +45,13 @@ type stats = {
 }
 
 val run :
-  ?coalesce:bool -> ?faults:Fault.t -> Topology.t -> params -> Message.t list -> stats
+  ?coalesce:bool ->
+  ?faults:Fault.t ->
+  ?label:string ->
+  Topology.t ->
+  params ->
+  Message.t list ->
+  stats
 (** [coalesce] (default [true]) merges same-pair messages.  Pass
     [false] to model the runtime's generic path for a {e general}
     affine communication: the pattern is too irregular to vectorize,
@@ -59,7 +65,12 @@ val run :
     [netsim.messages] counters and feeds the [netsim.time] and
     [netsim.max_link_load] histograms, so a sweep leaves a
     machine-readable record of every pricing it performed;
-    undeliverable messages also bump [fault.injected]. *)
+    undeliverable messages also bump [fault.injected].
+
+    When {!Obs.Telemetry.enabled}, each run additionally records one
+    {!Obs.Telemetry.run} (sim ["netsim"], [total_cycles = 0] — the
+    model is closed-form, so link loads are carried bytes and there
+    are no latency series), tagged with [label]. *)
 
 val coalesce_messages : Message.t list -> Message.t list
 (** Merge messages sharing (src, dst) into one with summed bytes. *)

@@ -36,3 +36,8 @@ let link_table topo msgs =
       Buffer.add_string buf (Printf.sprintf "%4d -> %-4d %8d\n" src dst load))
     loads;
   Buffer.contents buf
+
+let link_load_heatmap ?faults topo msgs =
+  Obs.Telemetry.heatmap ~dims:(topo : Topology.t).Topology.dims
+    ~torus:topo.Topology.torus
+    (Netsim.link_loads ?faults topo msgs)

@@ -41,6 +41,7 @@ type collector = {
   counters : (string, int) Hashtbl.t;
   gauges : (string, float) Hashtbl.t;
   histos : (string, histogram) Hashtbl.t;
+  histo_samples : (string, float list) Hashtbl.t; (* reverse order *)
 }
 
 let new_collector () =
@@ -51,6 +52,7 @@ let new_collector () =
     counters = Hashtbl.create 32;
     gauges = Hashtbl.create 16;
     histos = Hashtbl.create 16;
+    histo_samples = Hashtbl.create 16;
   }
 
 (* The main domain's slot is the parent registry every exporter reads;
@@ -70,7 +72,8 @@ let reset () =
   c.cur_depth <- 0;
   Hashtbl.reset c.counters;
   Hashtbl.reset c.gauges;
-  Hashtbl.reset c.histos
+  Hashtbl.reset c.histos;
+  Hashtbl.reset c.histo_samples
 
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
@@ -137,9 +140,25 @@ let observe name v =
           max_v = max h.max_v v;
         }
     in
-    Hashtbl.replace histos name h
+    Hashtbl.replace histos name h;
+    let samples = (cur ()).histo_samples in
+    Hashtbl.replace samples name
+      (v :: Option.value ~default:[] (Hashtbl.find_opt samples name))
 
 let histogram name = Hashtbl.find_opt (cur ()).histos name
+
+let histo_array c name =
+  Array.of_list (Option.value ~default:[] (Hashtbl.find_opt c.histo_samples name))
+
+let histogram_percentiles name =
+  let c = cur () in
+  match histo_array c name with
+  | [||] -> None
+  | xs ->
+    Some
+      ( Telemetry.percentile xs 50.0,
+        Telemetry.percentile xs 95.0,
+        Telemetry.percentile xs 99.0 )
 
 let point name ~ts v =
   if !enabled_flag then
@@ -317,16 +336,24 @@ let metrics_json () =
       ("counters", field_list string_of_int (sorted_bindings c.counters));
       ("gauges", field_list json_float (sorted_bindings c.gauges));
       ( "histograms",
-        field_list
-          (fun (h : histogram) ->
-            json_obj
-              [
-                ("count", string_of_int h.count);
-                ("sum", json_float h.sum);
-                ("min", json_float h.min_v);
-                ("max", json_float h.max_v);
-              ])
-          (sorted_bindings c.histos) );
+        "{"
+        ^ String.concat ","
+            (List.map
+               (fun (k, (h : histogram)) ->
+                 let xs = histo_array c k in
+                 json_str k ^ ":"
+                 ^ json_obj
+                     [
+                       ("count", string_of_int h.count);
+                       ("sum", json_float h.sum);
+                       ("min", json_float h.min_v);
+                       ("max", json_float h.max_v);
+                       ("p50", json_float (Telemetry.percentile xs 50.0));
+                       ("p95", json_float (Telemetry.percentile xs 95.0));
+                       ("p99", json_float (Telemetry.percentile xs 99.0));
+                     ])
+               (sorted_bindings c.histos))
+        ^ "}" );
       ( "spans",
         field_list
           (fun (n, tot, mx) ->
@@ -369,13 +396,19 @@ let pp_summary ppf () =
   let hs = sorted_bindings c.histos in
   if hs <> [] then begin
     Format.fprintf ppf "histograms:@\n";
-    Format.fprintf ppf "  %-32s %6s %12s %12s %12s@\n" "name" "count" "mean" "min"
-      "max";
+    Format.fprintf ppf "  %-32s %6s %10s %10s %10s %10s %10s %10s@\n" "name"
+      "count" "mean" "min" "p50" "p95" "p99" "max";
     List.iter
       (fun (k, (h : histogram)) ->
-        Format.fprintf ppf "  %-32s %6d %12.3f %12.3f %12.3f@\n" k h.count
+        let xs = histo_array c k in
+        Format.fprintf ppf "  %-32s %6d %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f@\n"
+          k h.count
           (h.sum /. float_of_int h.count)
-          h.min_v h.max_v)
+          h.min_v
+          (Telemetry.percentile xs 50.0)
+          (Telemetry.percentile xs 95.0)
+          (Telemetry.percentile xs 99.0)
+          h.max_v)
       hs
   end;
   if aggs = [] && cs = [] && gs = [] && hs = [] then
@@ -441,5 +474,18 @@ module Worker = struct
               }
           in
           Hashtbl.replace c.histos k merged)
-        w.histos
+        w.histos;
+      Hashtbl.iter
+        (fun k samples ->
+          Hashtbl.replace c.histo_samples k
+            (samples
+            @ Option.value ~default:[] (Hashtbl.find_opt c.histo_samples k)))
+        w.histo_samples
 end
+
+(* ------------------------------------------------------------------ *)
+(* Companion sinks                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Telemetry = Telemetry
+module Benchstore = Benchstore

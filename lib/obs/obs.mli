@@ -103,6 +103,12 @@ type histogram = { count : int; sum : float; min_v : float; max_v : float }
 
 val histogram : string -> histogram option
 
+val histogram_percentiles : string -> (float * float * float) option
+(** [(p50, p95, p99)] of a named histogram's recorded observations
+    (nearest-rank, see {!Telemetry.percentile}); [None] if the
+    histogram has no observations.  These also appear as columns in
+    {!pp_summary} and as fields in {!metrics_json}. *)
+
 val point : string -> ts:float -> float -> unit
 (** Record one sample of an explicit time series, e.g.
     [point "eventsim.queue" ~ts:(float cycle) depth].  Exported as
@@ -165,3 +171,13 @@ module Worker : sig
       finished — snapshots are plain values, so merging in slot order
       keeps the registry deterministic. *)
 end
+
+(** {1 Companion sinks}
+
+    Deep network telemetry ({!Telemetry}) and benchmark history +
+    regression comparison ({!Benchstore}); both dependency-free and,
+    like the rest of the module, zero-cost until explicitly enabled or
+    called. *)
+
+module Telemetry = Telemetry
+module Benchstore = Benchstore
