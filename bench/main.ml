@@ -14,7 +14,7 @@ open Linalg
 let cli_jobs : int option ref = ref None
 
 (* pool shared by the search/similarity experiments when --jobs is
-   given; created lazily, shut down at exit *)
+   given; a Par.Shared pool, alive for the whole bench run *)
 let search_pool : Par.Pool.t option ref = ref None
 
 (* --record: append one Benchstore record per headline metric to the
@@ -492,11 +492,20 @@ let parbench () =
           jobs t cps speedup identical)
       runs
   in
+  (* recommended_domains is measured, not guessed: the jobs level that
+     actually delivered the most cells/sec on this machine *)
+  let recommended =
+    let best (bj, bc) (jobs, _, t) =
+      let cps = if t > 0.0 then float_of_int cells /. t else 0.0 in
+      if cps > bc then (jobs, cps) else (bj, bc)
+    in
+    fst (List.fold_left best (1, 0.0) runs)
+  in
+  record "recommended_domains" (float_of_int recommended);
   let json =
     Printf.sprintf
       "{\"cells\":%d,\"rows\":%d,\"ms\":[1,2,3],\"recommended_domains\":%d,\"runs\":[%s]}"
-      cells (List.length rows1)
-      (Domain.recommended_domain_count ())
+      cells (List.length rows1) recommended
       (String.concat "," entries)
   in
   Obs.write_file "BENCH_par.json" json;
@@ -896,7 +905,7 @@ let () =
   in
   let names = parse_args (List.tl (Array.to_list Sys.argv)) in
   (match !cli_jobs with
-  | Some j when j > 1 -> search_pool := Some (Par.Pool.create ~jobs:j ())
+  | Some j when j > 1 -> search_pool := Some (Par.Shared.get ~jobs:j)
   | _ -> ());
   let run_one (name, f) =
     cur_experiment := name;
@@ -915,7 +924,6 @@ let () =
                (List.map (fun (n, _) -> " " ^ n) experiments));
           exit 1)
       names);
-  Option.iter Par.Pool.shutdown !search_pool;
   Obs.write_file "BENCH_obs.json" (Obs.metrics_json ());
   Format.eprintf "metrics snapshot written to BENCH_obs.json@.";
   if !record_enabled then begin

@@ -95,6 +95,62 @@ let with_cache cache f =
           with Sys_error msg -> Format.eprintf "cannot write cache: %s@." msg)
     end
 
+(* --profile FILE / --flame FILE: shared scheduler-profiling flags.
+   Either flag turns the Obs.Profile sink on for the command; the
+   utilization report goes to stderr and the artifacts to the given
+   files, so stdout (and any --csv) stays byte-identical to an
+   unprofiled run — the same zero-observer-effect contract as --trace
+   and --cache. *)
+
+let profile_term =
+  let profile_arg =
+    let doc =
+      "Record a scheduler profile — per-worker busy/idle timelines, \
+       pool lifecycle costs and per-task GC deltas — print the \
+       utilization report to stderr and write the profile to $(docv) \
+       as Chrome trace-event JSON (open in chrome://tracing or \
+       Perfetto; composes with $(b,--trace)).  Command output is \
+       byte-identical to an unprofiled run."
+    in
+    Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+  in
+  let flame_arg =
+    let doc =
+      "Also write the profile as collapsed stacks to $(docv), one \
+       $(b,worker;label;... count) line per stack with exclusive \
+       microseconds, ready for flamegraph tools."
+    in
+    Arg.(value & opt (some string) None & info [ "flame" ] ~docv:"FILE" ~doc)
+  in
+  Term.(const (fun p f -> (p, f)) $ profile_arg $ flame_arg)
+
+let with_profile (file, flame) f =
+  if file = None && flame = None then f ()
+  else begin
+    Obs.Profile.enable ();
+    let write_failed = ref false in
+    let write what dst contents =
+      try
+        Obs.write_file dst contents;
+        Format.eprintf "%s written to %s@." what dst
+      with Sys_error msg ->
+        Format.eprintf "cannot write %s: %s@." what msg;
+        write_failed := true
+    in
+    let finally () =
+      prerr_string (Obs.Profile.utilization_report ());
+      (match file with
+      | Some dst -> write "profile" dst (Obs.chrome_trace ())
+      | None -> ());
+      match flame with
+      | Some dst -> write "flame" dst (Obs.Profile.collapsed ())
+      | None -> ()
+    in
+    let v = Fun.protect ~finally f in
+    if !write_failed then exit 1;
+    v
+  end
+
 (* --faults SPEC / --seed N: shared fault-injection flags.  Without
    --faults the value is [None] and every command's output is
    byte-identical to a build without the fault subsystem. *)
@@ -341,8 +397,9 @@ let fuzz_cmd =
   let seed_arg =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed.")
   in
-  let run count seed jobs cache obs =
+  let run count seed jobs cache obs profile =
     with_obs obs @@ fun () ->
+    with_profile profile @@ fun () ->
     with_cache cache @@ fun () ->
     let nests = Nestir.Gennest.generate_many ~seed ~count in
     let verdict nest =
@@ -353,8 +410,7 @@ let fuzz_cmd =
     let verdicts =
       match jobs with
       | None -> List.map verdict nests
-      | Some j ->
-        Par.Pool.with_pool ~jobs:j (fun pool -> Par.map pool verdict nests)
+      | Some j -> Par.map (Par.Shared.get ~jobs:j) verdict nests
     in
     let ok = ref 0 and skipped = ref 0 and failed = ref 0 in
     List.iter2
@@ -371,7 +427,9 @@ let fuzz_cmd =
     if !failed > 0 then exit 1
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
-    Term.(const run $ count_arg $ seed_arg $ jobs_arg $ cache_term $ obs_term)
+    Term.(
+      const run $ count_arg $ seed_arg $ jobs_arg $ cache_term $ obs_term
+      $ profile_term)
 
 let chaos_cmd =
   let doc =
@@ -451,9 +509,7 @@ let chaos_cmd =
         | Some j ->
           (* the fan-out itself is part of the determinism check: the
              parallel trials must reproduce the sequential ones *)
-          let fanned =
-            Par.Pool.with_pool ~jobs:j (fun pool -> Par.map pool trial idx)
-          in
+          let fanned = Par.map (Par.Shared.get ~jobs:j) trial idx in
           if fanned <> List.map trial idx then begin
             Format.eprintf "chaos: --jobs %d results differ from sequential@." j;
             exit 1
@@ -508,8 +564,9 @@ let sweep_cmd =
     in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
   in
-  let run jobs ms csv faults cache obs =
+  let run jobs ms csv faults cache obs profile =
     with_obs obs @@ fun () ->
+    with_profile profile @@ fun () ->
     with_cache cache @@ fun () ->
     (* --faults adds the resilience columns (gain re-priced at the
        default fault rates on top of the given spec); without it the
@@ -525,7 +582,7 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const run $ jobs_arg $ ms_arg $ csv_arg $ faults_term $ cache_term
-      $ obs_term)
+      $ obs_term $ profile_term)
 
 let search_cmd =
   let doc =
@@ -537,15 +594,15 @@ let search_cmd =
     let doc = "Scan matrices with |entries| <= $(docv)." in
     Arg.(value & opt int 6 & info [ "bound" ] ~docv:"BOUND" ~doc)
   in
-  let run bound jobs cache obs =
+  let run bound jobs cache obs profile =
     with_obs obs @@ fun () ->
+    with_profile profile @@ fun () ->
     with_cache cache @@ fun () ->
     let hist =
       match jobs with
       | None -> Decomp.Search.factor_histogram ~bound ()
       | Some j ->
-        Par.Pool.with_pool ~jobs:j (fun pool ->
-            Decomp.Search.factor_histogram ~pool ~bound ())
+        Decomp.Search.factor_histogram ~pool:(Par.Shared.get ~jobs:j) ~bound ()
     in
     Format.printf "%a@." Decomp.Search.pp hist;
     List.iter
@@ -554,7 +611,59 @@ let search_cmd =
       hist.Decomp.Search.witnesses_beyond
   in
   Cmd.v (Cmd.info "search" ~doc)
-    Term.(const run $ bound_arg $ jobs_arg $ cache_term $ obs_term)
+    Term.(
+      const run $ bound_arg $ jobs_arg $ cache_term $ obs_term $ profile_term)
+
+let profile_cmd =
+  let doc =
+    "Profile the parallel runtime on a sweep: run workload x model x \
+     dimension cells over a pool, record per-worker timelines, pool \
+     lifecycle costs and GC attribution, and print the utilization \
+     report with a diagnosis of where the wall-clock budget goes \
+     (work / GC / spawn / merge / idle) and a measured \
+     recommended_domains."
+  in
+  let workload_opt_arg =
+    let doc = "Profile only this workload (default: all of them)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  let ms_arg =
+    let doc = "Comma-separated grid dimensions to sweep while profiling." in
+    Arg.(value & opt (list int) [ 1; 2; 3 ] & info [ "ms" ] ~docv:"M,M,..." ~doc)
+  in
+  let profile_file_arg =
+    let doc =
+      "Also write the profile to $(docv) as Chrome trace-event JSON."
+    in
+    Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+  in
+  let flame_arg =
+    let doc = "Also write collapsed stacks to $(docv) for flamegraph tools." in
+    Arg.(value & opt (some string) None & info [ "flame" ] ~docv:"FILE" ~doc)
+  in
+  let run name jobs ms cache profile_file flame =
+    let workloads = Option.map (fun n -> [ find_workload n ]) name in
+    Obs.Profile.enable ();
+    with_cache cache @@ fun () ->
+    let rows = Resopt.Sweep.run ?jobs ~ms ?workloads () in
+    (* the report is this command's output, so it goes to stdout *)
+    print_string (Obs.Profile.utilization_report ());
+    Format.printf "(%d sweep rows computed)@." (List.length rows);
+    let write what dst contents =
+      try
+        Obs.write_file dst contents;
+        Format.eprintf "%s written to %s@." what dst
+      with Sys_error msg ->
+        Format.eprintf "cannot write %s: %s@." what msg;
+        exit 1
+    in
+    Option.iter (fun dst -> write "profile" dst (Obs.chrome_trace ())) profile_file;
+    Option.iter (fun dst -> write "flame" dst (Obs.Profile.collapsed ())) flame
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ workload_opt_arg $ jobs_arg $ ms_arg $ cache_term
+      $ profile_file_arg $ flame_arg)
 
 (* The flows a workload's optimized plan leaves on the wire — the same
    extraction the chaos command uses, falling back to the paper's T so
@@ -768,4 +877,4 @@ let () =
   Obs.set_clock Unix.gettimeofday;
   let doc = "Optimize residual communications of affine loop nests (Dion, Randriamaro, Robert 1996)." in
   let info = Cmd.info "resopt-cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; graph_cmd; codegen_cmd; parse_cmd; compile_cmd; report_cmd; fuzz_cmd; autodim_cmd; spmd_cmd; simulate_cmd; sweep_cmd; search_cmd; chaos_cmd; bench_compare_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; graph_cmd; codegen_cmd; parse_cmd; compile_cmd; report_cmd; fuzz_cmd; autodim_cmd; spmd_cmd; simulate_cmd; sweep_cmd; search_cmd; chaos_cmd; bench_compare_cmd; profile_cmd ]))

@@ -21,6 +21,11 @@ let faults_at base rate =
   in
   Machine.Fault.make ~seed:(Machine.Fault.seed base) specs
 
+(* Label construction costs a sprintf, so only pay it when the
+   scheduler profiler is recording. *)
+let profile_task label f =
+  if Obs.Profile.enabled () then Obs.Profile.task (label ()) f else f ()
+
 (* One (workload, m) cell: run the optimizer and the baseline once,
    then price the resulting plans on every machine model.  The
    optimizer+baseline pair is timed once here and observed once in the
@@ -28,6 +33,9 @@ let faults_at base rate =
    every model row used to triple-count it; per-model pricing gets its
    own clock ([cost_ms] / [sweep.cost_ms]). *)
 let eval_cell models fault_rates (w : Workloads.t) m =
+  profile_task (fun () ->
+      Printf.sprintf "cell:%s:m=%d" w.Workloads.name m)
+  @@ fun () ->
   match
     Obs.time_ms (fun () ->
         ( Pipeline.run ~m ~schedule:w.Workloads.schedule w.Workloads.nest,
@@ -42,6 +50,8 @@ let eval_cell models fault_rates (w : Workloads.t) m =
     let validated = Validate.is_valid opt in
     List.map
       (fun model ->
+        profile_task (fun () -> "row:" ^ model.Machine.Models.name)
+        @@ fun () ->
         Obs.with_span "sweep.cell"
           ~args:
             [
@@ -116,8 +126,10 @@ let run ?jobs ?(ms = [ 2 ]) ?models ?workloads ?faults ?fault_rates ?cache () =
   | None -> List.concat_map eval cells
   | Some j ->
     (* cells land in input order whatever the schedule, so the row
-       list is identical to the sequential one *)
-    Par.Pool.with_pool ~jobs:j (fun pool -> Par.concat_map pool eval cells)
+       list is identical to the sequential one; the shared pool keeps
+       worker domains alive across rows and calls instead of paying a
+       spawn/teardown per sweep *)
+    Par.concat_map (Par.Shared.get ~jobs:j) eval cells
 
 let rates_of rows =
   match rows with r :: _ -> List.map fst r.resilience | [] -> []

@@ -26,9 +26,16 @@ let iter_det1_slice ~bound a f =
 let avals ~bound = List.init ((2 * bound) + 1) (fun i -> i - bound)
 
 let slice_map ?pool ~bound f =
+  (* per-slice attribution for the scheduler profiler; the sprintf is
+     only paid while a profile is being recorded *)
+  let g a =
+    if Obs.Profile.enabled () then
+      Obs.Profile.task (Printf.sprintf "slice:a=%d" a) (fun () -> f a)
+    else f a
+  in
   match pool with
-  | None -> List.map f (avals ~bound)
-  | Some p -> Par.map p f (avals ~bound)
+  | None -> List.map g (avals ~bound)
+  | Some p -> Par.map p g (avals ~bound)
 
 type factor_slice = {
   s_total : int;

@@ -13,7 +13,13 @@
 (* ------------------------------------------------------------------ *)
 
 let clock = ref Sys.time
-let set_clock f = clock := f
+
+let set_clock f =
+  clock := f;
+  (* the profiler keeps its own clock so it can be used without spans;
+     installing one time source here keeps both sinks on it *)
+  Profile.set_clock f
+
 let now_us () = !clock () *. 1e6
 
 (* ------------------------------------------------------------------ *)
@@ -252,6 +258,7 @@ let chrome_trace () =
     @ List.map
         (fun (k, v) -> counter_event ~ts:end_ts k v)
         (sorted_bindings c.counters)
+    @ Profile.chrome_events ()
   in
   "{\"traceEvents\":[" ^ String.concat "," events ^ "],\"displayTimeUnit\":\"ms\"}"
 
@@ -489,3 +496,4 @@ end
 
 module Telemetry = Telemetry
 module Benchstore = Benchstore
+module Profile = Profile

@@ -36,7 +36,8 @@ val set_clock : (unit -> float) -> unit
     float.  The default is [Sys.time] (processor time), the only clock
     the standard library offers; executables that link [unix] should
     install [Unix.gettimeofday] for real wall-clock spans, and tests
-    install a deterministic fake. *)
+    install a deterministic fake.  Forwards to {!Profile.set_clock},
+    so spans and scheduler profiles always share one clock. *)
 
 val now_us : unit -> float
 (** Current time in microseconds according to the installed clock. *)
@@ -121,7 +122,8 @@ val chrome_trace : unit -> string
 (** The recorded spans, points and final counter values as a Chrome
     trace-event JSON document ([{"traceEvents": [...]}]).  Spans
     become complete ("ph":"X") events, points and counters become
-    counter ("ph":"C") events. *)
+    counter ("ph":"C") events.  Any {!Profile} recordings are appended
+    as their own track, so [--trace] and [--profile] compose. *)
 
 val jsonl : unit -> string
 (** Flat log, one JSON object per line: spans in completion order,
@@ -174,10 +176,11 @@ end
 
 (** {1 Companion sinks}
 
-    Deep network telemetry ({!Telemetry}) and benchmark history +
-    regression comparison ({!Benchstore}); both dependency-free and,
-    like the rest of the module, zero-cost until explicitly enabled or
-    called. *)
+    Deep network telemetry ({!Telemetry}), benchmark history +
+    regression comparison ({!Benchstore}) and the parallel-scheduler
+    profiler ({!Profile}); all dependency-free and, like the rest of
+    the module, zero-cost until explicitly enabled or called. *)
 
 module Telemetry = Telemetry
 module Benchstore = Benchstore
+module Profile = Profile

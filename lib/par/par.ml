@@ -11,7 +11,8 @@
 
 module Pool = struct
   type t = {
-    size : int;
+    size : int; (* jobs as requested *)
+    width : int; (* domains actually used, <= size *)
     mutex : Mutex.t;
     work_ready : Condition.t;
     work_done : Condition.t;
@@ -22,14 +23,26 @@ module Pool = struct
     mutable domains : unit Domain.t list; (* spawned on first use *)
   }
 
-  let create ?jobs () =
+  let create ?jobs ?(oversubscribe = false) () =
     let size =
       match jobs with
       | Some j -> max 1 j
       | None -> max 1 (Domain.recommended_domain_count ())
     in
+    (* Running more domains than cores never helps here — the chunks
+       are CPU-bound and OCaml 5 minor collections stop every domain,
+       so time-sliced domains multiply GC pauses instead of hiding
+       latency (measured: the 0.355x jobs-4 sweep of BENCH_par.json
+       on a 1-core container).  Cap the execution width at the core
+       count; [oversubscribe] lifts the cap for tests that want real
+       multi-domain scheduling regardless of the machine. *)
+    let width =
+      if oversubscribe then size
+      else min size (max 1 (Domain.recommended_domain_count ()))
+    in
     {
       size;
+      width;
       mutex = Mutex.create ();
       work_ready = Condition.create ();
       work_done = Condition.create ();
@@ -41,6 +54,7 @@ module Pool = struct
     }
 
   let jobs t = t.size
+  let width t = t.width
 
   let worker_loop t slot =
     let last = ref 0 in
@@ -67,22 +81,23 @@ module Pool = struct
     loop ()
 
   let ensure_spawned t =
-    if t.domains = [] && t.size > 1 then
+    if t.domains = [] && t.width > 1 then
       t.domains <-
-        List.init (t.size - 1) (fun i ->
-            Domain.spawn (fun () -> worker_loop t (i + 1)))
+        List.init (t.width - 1) (fun i ->
+            Obs.Profile.event "spawn" (fun () ->
+                Domain.spawn (fun () -> worker_loop t (i + 1))))
 
   (* Run [body slot] once on every slot (0 = the calling domain) and
      return when all slots have finished. *)
   let run t body =
     if t.stop then invalid_arg "Par.Pool: pool used after shutdown";
-    if t.size = 1 then body 0
+    if t.width = 1 then body 0
     else begin
       ensure_spawned t;
       Mutex.lock t.mutex;
       t.job <- Some body;
       t.generation <- t.generation + 1;
-      t.active <- t.size - 1;
+      t.active <- t.width - 1;
       Condition.broadcast t.work_ready;
       Mutex.unlock t.mutex;
       body 0;
@@ -100,13 +115,55 @@ module Pool = struct
       t.stop <- true;
       Condition.broadcast t.work_ready;
       Mutex.unlock t.mutex;
-      List.iter Domain.join t.domains;
+      if t.domains <> [] then
+        Obs.Profile.event "teardown" (fun () ->
+            List.iter Domain.join t.domains);
       t.domains <- []
     end
 
-  let with_pool ?jobs f =
-    let t = create ?jobs () in
+  let with_pool ?jobs ?oversubscribe f =
+    let t = create ?jobs ?oversubscribe () in
     Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Shared pools                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Spawning costs real time relative to a sweep row, and the profiler
+   showed pools being created and torn down once per call site.  This
+   registry keeps one pool alive per jobs count for the life of the
+   process; everything long-running (CLI subcommands, Sweep rows,
+   benches) should go through [get] instead of [Pool.with_pool]. *)
+module Shared = struct
+  let pools : (int, Pool.t) Hashtbl.t = Hashtbl.create 4
+  let lock = Mutex.create ()
+  let registered = ref false
+
+  let shutdown_all () =
+    Mutex.lock lock;
+    let ps = Hashtbl.fold (fun _ p acc -> p :: acc) pools [] in
+    Hashtbl.reset pools;
+    Mutex.unlock lock;
+    List.iter Pool.shutdown ps
+
+  let get ~jobs =
+    let jobs = max 1 jobs in
+    Mutex.lock lock;
+    let p =
+      match Hashtbl.find_opt pools jobs with
+      | Some p -> p
+      | None ->
+        let p = Pool.create ~jobs () in
+        Hashtbl.replace pools jobs p;
+        if not !registered then begin
+          registered := true;
+          at_exit shutdown_all
+        end;
+        p
+    in
+    Mutex.unlock lock;
+    p
 end
 
 (* ------------------------------------------------------------------ *)
@@ -121,12 +178,15 @@ end
    wins, so which exception escapes does not depend on scheduling. *)
 let run_tasks pool n task =
   if n = 0 then ()
-  else if Pool.jobs pool = 1 then
+  else if Pool.jobs pool = 1 then begin
+    Obs.Profile.note_pool ~jobs:1 ~width:1;
     for i = 0 to n - 1 do
-      task i
+      Obs.Profile.task "chunk" ~index:i ~size:1 (fun () -> task i)
     done
+  end
   else begin
-    let slots = Pool.jobs pool in
+    let slots = Pool.width pool in
+    Obs.Profile.note_pool ~jobs:(Pool.jobs pool) ~width:slots;
     let chunk = max 1 (n / (slots * 8)) in
     let next = Atomic.make 0 in
     let err : (int * exn * Printexc.raw_backtrace) option Atomic.t =
@@ -148,18 +208,22 @@ let run_tasks pool n task =
         let ((), cache_snap), obs_snap =
           Obs.Worker.capture ~worker:slot (fun () ->
               Cache.Worker.capture (fun () ->
-                  let rec drain () =
-                    let start = Atomic.fetch_and_add next chunk in
-                    if start < n then begin
-                      let stop = min n (start + chunk) in
-                      for i = start to stop - 1 do
-                        try task i
-                        with e -> record i e (Printexc.get_raw_backtrace ())
-                      done;
-                      drain ()
-                    end
-                  in
-                  drain ()))
+                  Obs.Profile.with_worker slot (fun () ->
+                      let rec drain () =
+                        let start = Atomic.fetch_and_add next chunk in
+                        if start < n then begin
+                          let stop = min n (start + chunk) in
+                          Obs.Profile.task "chunk" ~index:start
+                            ~size:(stop - start) (fun () ->
+                              for i = start to stop - 1 do
+                                try task i
+                                with e ->
+                                  record i e (Printexc.get_raw_backtrace ())
+                              done);
+                          drain ()
+                        end
+                      in
+                      drain ())))
         in
         snapshots.(slot) <- Some (obs_snap, cache_snap));
     (* join happened inside [Pool.run]; merge in slot order so the
@@ -168,8 +232,9 @@ let run_tasks pool n task =
     Array.iter
       (function
         | Some (obs_snap, cache_snap) ->
-          Obs.Worker.merge obs_snap;
-          Cache.Worker.merge cache_snap
+          Obs.Profile.event "merge.obs" (fun () -> Obs.Worker.merge obs_snap);
+          Obs.Profile.event "merge.cache" (fun () ->
+              Cache.Worker.merge cache_snap)
         | None -> ())
       snapshots;
     match Atomic.get err with

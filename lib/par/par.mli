@@ -41,20 +41,54 @@ module Pool : sig
       block on a condition variable between operations, so an idle
       pool costs nothing but memory. *)
 
-  val create : ?jobs:int -> unit -> t
-  (** [create ~jobs ()] — a pool executing every operation on [jobs]
-      domains: the caller plus [jobs - 1] spawned workers.  Defaults
-      to [Domain.recommended_domain_count ()]; values [< 1] are
-      clamped to 1, and a 1-job pool never spawns anything. *)
+  val create : ?jobs:int -> ?oversubscribe:bool -> unit -> t
+  (** [create ~jobs ()] — a pool accepting work for [jobs] domains.
+      Defaults to [Domain.recommended_domain_count ()]; values [< 1]
+      are clamped to 1, and a pool of execution width 1 never spawns
+      anything.
+
+      The pool {e executes} on [width = min jobs cores] domains: the
+      chunks are CPU-bound and OCaml 5 minor collections stop every
+      domain, so running more domains than cores multiplies GC pauses
+      instead of adding throughput (the profiled cause of the 0.355x
+      jobs-4 sweep in [BENCH_par.json] on a 1-core machine).  Results
+      never depend on the width — only wall time does.
+      [~oversubscribe:true] lifts the cap and executes on [jobs]
+      domains regardless of the core count, which tests use to get
+      genuinely scrambled multi-domain scheduling everywhere. *)
 
   val jobs : t -> int
+  (** The requested parallelism, as passed to [create]. *)
+
+  val width : t -> int
+  (** The number of domains operations actually execute on. *)
 
   val shutdown : t -> unit
   (** Stop and join the worker domains.  Idempotent.  Using the pool
       afterwards raises [Invalid_argument]. *)
 
-  val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+  val with_pool : ?jobs:int -> ?oversubscribe:bool -> (t -> 'a) -> 'a
   (** [with_pool ~jobs f] — [create], run [f], always [shutdown]. *)
+end
+
+(** {1 Shared pools}
+
+    Domain spawns cost real time relative to a sweep row, and pools
+    used to be created and torn down once per call.  [Shared] keeps
+    one pool per jobs count alive for the whole process; long-running
+    call sites (CLI subcommands, {!Resopt.Sweep} rows, benches) should
+    prefer it over {!Pool.with_pool}. *)
+
+module Shared : sig
+  val get : jobs:int -> Pool.t
+  (** The process-wide pool for [jobs] (clamped to [>= 1]), created on
+      first use with the default width cap.  Do not [shutdown] it;
+      pools are shut down automatically at exit. *)
+
+  val shutdown_all : unit -> unit
+  (** Shut down and forget every shared pool (subsequent [get]s create
+      fresh ones).  Runs automatically via [at_exit]; callable earlier
+      by tests. *)
 end
 
 (** {1 List combinators} *)

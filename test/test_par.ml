@@ -3,7 +3,10 @@
    exception propagation, pool lifecycle, and the Obs merge
    contract. *)
 
-let with_pool jobs f = Par.Pool.with_pool ~jobs f
+(* oversubscribe so these tests exercise real multi-domain scheduling
+   even on single-core CI machines (the default caps width at the core
+   count) *)
+let with_pool jobs f = Par.Pool.with_pool ~jobs ~oversubscribe:true f
 
 (* ------------------------------------------------------------------ *)
 (* Combinators vs. their sequential counterparts                       *)
@@ -165,6 +168,40 @@ let test_jobs_clamped () =
   Alcotest.(check (list int)) "sequential pool works" [ 1; 2 ]
     (Par.map pool Fun.id [ 1; 2 ])
 
+let test_width_capped () =
+  let cores = max 1 (Domain.recommended_domain_count ()) in
+  Par.Pool.with_pool ~jobs:(cores + 7) @@ fun pool ->
+  Alcotest.(check int) "jobs stays as requested" (cores + 7)
+    (Par.Pool.jobs pool);
+  Alcotest.(check int) "width capped at cores" cores (Par.Pool.width pool);
+  Alcotest.(check (list int))
+    "capped pool still computes" [ 1; 4; 9 ]
+    (Par.map pool (fun x -> x * x) [ 1; 2; 3 ]);
+  (* the cap never widens, and oversubscribe lifts it *)
+  (Par.Pool.with_pool ~jobs:1 @@ fun p ->
+   Alcotest.(check int) "1-job pool has width 1" 1 (Par.Pool.width p));
+  Par.Pool.with_pool ~jobs:(cores + 3) ~oversubscribe:true @@ fun p ->
+  Alcotest.(check int) "oversubscribed width = jobs" (cores + 3)
+    (Par.Pool.width p)
+
+let test_shared_pools () =
+  let a = Par.Shared.get ~jobs:3 in
+  let b = Par.Shared.get ~jobs:3 in
+  Alcotest.(check bool) "same pool returned" true (a == b);
+  let c = Par.Shared.get ~jobs:2 in
+  Alcotest.(check bool) "distinct jobs, distinct pool" false (a == c);
+  Alcotest.(check (list int))
+    "shared pool computes" [ 0; 2; 4 ]
+    (Par.map a (fun x -> 2 * x) [ 0; 1; 2 ]);
+  Par.Shared.shutdown_all ();
+  (* a fresh pool is created after shutdown_all *)
+  let d = Par.Shared.get ~jobs:3 in
+  Alcotest.(check bool) "fresh pool after shutdown_all" false (a == d);
+  Alcotest.(check (list int))
+    "fresh shared pool computes" [ 1; 2; 3 ]
+    (Par.map d succ [ 0; 1; 2 ]);
+  Par.Shared.shutdown_all ()
+
 (* ------------------------------------------------------------------ *)
 (* Obs isolation and merge                                             *)
 (* ------------------------------------------------------------------ *)
@@ -259,6 +296,9 @@ let () =
           Alcotest.test_case "reuse across maps, shutdown" `Quick test_pool_reuse;
           Alcotest.test_case "oversubscription" `Quick test_oversubscription;
           Alcotest.test_case "jobs clamped to >= 1" `Quick test_jobs_clamped;
+          Alcotest.test_case "width capped at core count" `Quick
+            test_width_capped;
+          Alcotest.test_case "shared pools are reused" `Quick test_shared_pools;
         ] );
       ( "obs",
         [
