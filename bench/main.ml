@@ -719,6 +719,146 @@ let faultbench () =
   Format.eprintf "fault resilience snapshot written to BENCH_fault.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Process mapping: hop-bytes and link balance, identity vs searched   *)
+(* ------------------------------------------------------------------ *)
+
+(* Each Table-2 workload's residual traffic is collapsed to its
+   volume graph on the Paragon mesh and placed three ways: the paper's
+   fixed embedding (identity), the greedy-growing construction, and
+   greedy + seeded hill climbing.  Hop-bytes is the mapping objective;
+   the link-load Gini (over the closed-form byte loads, clean and at a
+   5% flaky rate) shows the balance effect on the wires.  Everything
+   is closed-form or exhaustively deterministic, so the snapshot diffs
+   clean across runs and feeds the bench-compare gate. *)
+let mapbench () =
+  section "Process mapping - hop-bytes and link balance (Paragon mesh)";
+  let seed = 42 in
+  let par = Machine.Models.paragon () in
+  let topo = par.Machine.Models.topo in
+  let vgrid =
+    match Resopt.Cost.sim_vgrid par with Some v -> v | None -> assert false
+  in
+  let layout = Distrib.Layout.all_cyclic 2 in
+  let place v = Distrib.Layout.place layout ~vgrid ~topo v in
+  let n = Machine.Topology.size topo in
+  let kinds = [ Mapping.Identity; Mapping.Greedy; Mapping.Search ] in
+  let rates = [ 0.0; 0.05 ] in
+  Format.printf "%-12s %10s %10s %10s %7s" "workload" "hb id" "hb greedy"
+    "hb search" "gain";
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun k ->
+          Format.printf " %9s"
+            (Printf.sprintf "g%g:%s" (rate *. 100.0)
+               (match k with
+               | Mapping.Identity -> "id"
+               | Mapping.Greedy -> "gr"
+               | Mapping.Search -> "se")))
+        kinds)
+    rates;
+  Format.printf "@.";
+  let ordered = ref true in
+  let entries =
+    List.map
+      (fun (w : Resopt.Workloads.t) ->
+        let flows = Resopt.Residual.flows_of_workload ~m:2 w in
+        let msgs =
+          List.concat_map
+            (fun flow ->
+              Machine.Patterns.affine_messages ~vgrid ~flow ~bytes:8 ~place ())
+            flows
+        in
+        let vol = Machine.Volgraph.sorted (Machine.Volgraph.of_messages msgs) in
+        let perm_of = function
+          | Mapping.Identity -> Mapping.identity n
+          | Mapping.Greedy -> Mapping.greedy topo vol
+          | Mapping.Search -> Mapping.search ~seed topo vol
+        in
+        let perms = List.map (fun k -> (k, perm_of k)) kinds in
+        let hb k = Mapping.hop_bytes topo vol (List.assoc k perms) in
+        let hb_id = hb Mapping.Identity
+        and hb_gr = hb Mapping.Greedy
+        and hb_se = hb Mapping.Search in
+        ordered := !ordered && hb_se <= hb_gr && hb_gr <= hb_id;
+        let gini rate k =
+          let faults =
+            if rate = 0.0 then Machine.Fault.none
+            else
+              Machine.Fault.make ~seed
+                [ Machine.Fault.Flaky { link = None; prob = rate } ]
+          in
+          let loads =
+            Machine.Netsim.link_loads ~faults topo
+              (Mapping.apply (List.assoc k perms) msgs)
+          in
+          Obs.Telemetry.gini
+            (Array.of_list (List.map (fun (_, l) -> float_of_int l) loads))
+        in
+        let ginis =
+          List.concat_map
+            (fun rate -> List.map (fun k -> (rate, k, gini rate k)) kinds)
+            rates
+        in
+        Format.printf "%-12s %10d %10d %10d %6.2fx" w.Resopt.Workloads.name
+          hb_id hb_gr hb_se
+          (if hb_se > 0 then float_of_int hb_id /. float_of_int hb_se else 1.0);
+        List.iter (fun (_, _, g) -> Format.printf " %9.4f" g) ginis;
+        Format.printf "@.";
+        let kname = function
+          | Mapping.Identity -> "identity"
+          | Mapping.Greedy -> "greedy"
+          | Mapping.Search -> "search"
+        in
+        List.iter
+          (fun (k, _) ->
+            record
+              (Printf.sprintf "%s.hop_bytes.%s" w.Resopt.Workloads.name (kname k))
+              (float_of_int (hb k)))
+          perms;
+        List.iter
+          (fun (rate, k, g) ->
+            record
+              (Printf.sprintf "%s.gini%g.%s" w.Resopt.Workloads.name
+                 (rate *. 100.0) (kname k))
+              g)
+          ginis;
+        Printf.sprintf
+          "{\"name\":\"%s\",\"hop_bytes\":{\"identity\":%d,\"greedy\":%d,\"search\":%d},%s}"
+          w.Resopt.Workloads.name hb_id hb_gr hb_se
+          (String.concat ","
+             (List.map
+                (fun rate ->
+                  Printf.sprintf "\"gini%g\":{%s}" (rate *. 100.0)
+                    (String.concat ","
+                       (List.map
+                          (fun k ->
+                            let g =
+                              List.find
+                                (fun (r, k', _) -> r = rate && k' = k)
+                                ginis
+                            in
+                            let _, _, g = g in
+                            Printf.sprintf "\"%s\":%.6f" (kname k) g)
+                          kinds)))
+                rates)))
+      (Resopt.Workloads.all ())
+  in
+  Format.printf
+    "search <= greedy <= identity hop-bytes on every workload: %b@." !ordered;
+  if not !ordered then begin
+    Format.eprintf "mapbench: hop-bytes ordering violated@.";
+    exit 1
+  end;
+  let json =
+    Printf.sprintf
+      "{\"seed\":%d,\"topology\":\"paragon-8x4\",\"workloads\":[%s]}" seed
+      (String.concat "," entries)
+  in
+  Obs.write_file "BENCH_map.json" json;
+  Format.eprintf "process-mapping snapshot written to BENCH_map.json@."
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end program time                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -872,6 +1012,7 @@ let experiments =
     ("optimality", optimality);
     ("eventsim", eventsim);
     ("faultbench", faultbench);
+    ("mapbench", mapbench);
     ("weighting", weighting);
     ("ablations", ablations);
     ("bechamel", bechamel);

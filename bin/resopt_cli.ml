@@ -155,6 +155,40 @@ let with_profile (file, flame) f =
    --faults the value is [None] and every command's output is
    byte-identical to a build without the fault subsystem. *)
 
+(* --map KIND / --map-seed N: shared process-placement flags.  Without
+   --map (or with --map none) the value is [None] and every command's
+   output is byte-identical to a build without the mapping subsystem. *)
+
+let map_term =
+  let map_arg =
+    let doc =
+      "Search a topology-aware placement of the processes carrying the \
+       residual traffic (minimizing hop-bytes over the volume graph): \
+       $(b,none) keeps the paper's fixed embedding, $(b,greedy) the \
+       growing construction, $(b,search) greedy plus seeded \
+       pairwise-swap hill climbing with restarts."
+    in
+    Arg.(value & opt string "none" & info [ "map" ] ~docv:"KIND" ~doc)
+  in
+  let map_seed_arg =
+    let doc =
+      "Seed of the mapping search's restart streams: the same seed and \
+       $(b,--map) kind reproduce the same placement, at any $(b,--jobs) \
+       level."
+    in
+    Arg.(value & opt int 0 & info [ "map-seed" ] ~docv:"N" ~doc)
+  in
+  let build kind seed =
+    if kind = "none" then None
+    else
+      match Mapping.kind_of_string kind with
+      | Some k -> Some (Mapping.spec ~seed k)
+      | None ->
+        Format.eprintf "bad --map %s (expected none, greedy or search)@." kind;
+        exit 1
+  in
+  Term.(const build $ map_arg $ map_seed_arg)
+
 let faults_term =
   let spec_arg =
     let doc =
@@ -242,7 +276,45 @@ let run_cmd =
           model.Machine.Models.name o b (gain b o) fo fb (gain fb fo))
       [ Machine.Models.cm5 (); Machine.Models.paragon (); Machine.Models.t3d () ]
   in
-  let run name m baseline faults cache obs =
+  (* the placement the mapping layer picks for the plan's residual
+     traffic, per 2-D model: hop-bytes before/after plus the plan
+     price before/after (the sweep's gain_map column, one workload) *)
+  let mapping_block (r : Resopt.Pipeline.result) spec =
+    Format.printf "@.process mapping (--map %s):@."
+      (Mapping.kind_to_string spec.Mapping.kind);
+    Format.printf "  %-8s %12s %12s %8s %12s %12s %8s@." "model" "hop-bytes"
+      "mapped" "gain" "cost" "cost+map" "gain_map";
+    List.iter
+      (fun model ->
+        match Resopt.Cost.sim_vgrid model with
+        | None ->
+          Format.printf "  %-8s %12s@." model.Machine.Models.name
+            "(no 2-D grid)"
+        | Some vgrid ->
+          let topo = model.Machine.Models.topo in
+          let layout = Distrib.Layout.all_cyclic 2 in
+          let place v = Distrib.Layout.place layout ~vgrid ~topo v in
+          let vol =
+            Resopt.Residual.volume_graph ~vgrid ~bytes:64 ~place
+              (Resopt.Residual.flows_of_plan r.Resopt.Pipeline.plan)
+          in
+          let n = Machine.Topology.size topo in
+          let perm = Mapping.compute spec topo vol in
+          let hb_id = Mapping.hop_bytes topo vol (Mapping.identity n) in
+          let hb = Mapping.hop_bytes topo vol perm in
+          let cost = (Resopt.Cost.of_plan model r.Resopt.Pipeline.plan).Resopt.Cost.total in
+          let mapped =
+            (Resopt.Cost.of_plan ~mapping:spec model r.Resopt.Pipeline.plan)
+              .Resopt.Cost.total
+          in
+          let gain num den = if den > 0.0 then num /. den else 1.0 in
+          Format.printf "  %-8s %12d %12d %7.2fx %12.1f %12.1f %7.2fx@."
+            model.Machine.Models.name hb_id hb
+            (gain (float_of_int hb_id) (float_of_int hb))
+            cost mapped (gain cost mapped))
+      [ Machine.Models.cm5 (); Machine.Models.paragon (); Machine.Models.t3d () ]
+  in
+  let run name m baseline faults cache mapping obs =
     let w = find_workload name in
     with_obs obs @@ fun () ->
     with_cache cache @@ fun () ->
@@ -250,6 +322,7 @@ let run_cmd =
     | None ->
       let r = Resopt.Pipeline.run ~m ~schedule:w.Resopt.Workloads.schedule w.Resopt.Workloads.nest in
       Format.printf "%a@." Resopt.Pipeline.pp r;
+      Option.iter (mapping_block r) mapping;
       Option.iter (resilience_block w m r) faults
     | Some "platonoff" ->
       let r =
@@ -272,7 +345,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ workload_arg $ m_arg $ baseline_arg $ faults_term $ cache_term
-      $ obs_term)
+      $ map_term $ obs_term)
 
 let graph_cmd =
   let doc = "Print the access graph of a workload." in
@@ -454,17 +527,6 @@ let chaos_cmd =
     (* traffic: the 2x2 data flows of the optimized workload plans,
        falling back to the paper's T when a plan has none *)
     let flows =
-      let of_plan plan =
-        List.filter_map
-          (fun (e : Resopt.Commplan.entry) ->
-            match e.Resopt.Commplan.classification with
-            | Resopt.Commplan.General (Some f)
-            | Resopt.Commplan.Decomposed { flow = f; _ }
-              when Linalg.Mat.rows f = 2 && Linalg.Mat.cols f = 2 ->
-              Some f
-            | _ -> None)
-          plan
-      in
       let all =
         List.concat_map
           (fun (w : Resopt.Workloads.t) ->
@@ -472,11 +534,11 @@ let chaos_cmd =
               Resopt.Pipeline.run ~m:2 ~schedule:w.Resopt.Workloads.schedule
                 w.Resopt.Workloads.nest
             with
-            | r -> of_plan r.Resopt.Pipeline.plan
+            | r -> Resopt.Residual.flows_of_plan r.Resopt.Pipeline.plan
             | exception _ -> [])
           (Resopt.Workloads.all ())
       in
-      if all = [] then [ Linalg.Mat.of_lists [ [ 1; 2 ]; [ 3; 7 ] ] ] else all
+      if all = [] then [ Resopt.Residual.default_flow ] else all
     in
     let msgs =
       Array.of_list
@@ -564,14 +626,14 @@ let sweep_cmd =
     in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
   in
-  let run jobs ms csv faults cache obs profile =
+  let run jobs ms csv faults cache mapping obs profile =
     with_obs obs @@ fun () ->
     with_profile profile @@ fun () ->
     with_cache cache @@ fun () ->
     (* --faults adds the resilience columns (gain re-priced at the
-       default fault rates on top of the given spec); without it the
-       table and CSV are unchanged *)
-    let rows = Resopt.Sweep.run ?jobs ~ms ?faults () in
+       default fault rates on top of the given spec) and --map the
+       gain_map column; without them the table and CSV are unchanged *)
+    let rows = Resopt.Sweep.run ?jobs ~ms ?faults ?mapping () in
     Resopt.Sweep.pp_table Format.std_formatter rows;
     match csv with
     | None -> ()
@@ -582,7 +644,7 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const run $ jobs_arg $ ms_arg $ csv_arg $ faults_term $ cache_term
-      $ obs_term $ profile_term)
+      $ map_term $ obs_term $ profile_term)
 
 let search_cmd =
   let doc =
@@ -665,31 +727,6 @@ let profile_cmd =
       const run $ workload_opt_arg $ jobs_arg $ ms_arg $ cache_term
       $ profile_file_arg $ flame_arg)
 
-(* The flows a workload's optimized plan leaves on the wire — the same
-   extraction the chaos command uses, falling back to the paper's T so
-   the report always has traffic to render. *)
-let residual_flows w m =
-  let of_plan plan =
-    List.filter_map
-      (fun (e : Resopt.Commplan.entry) ->
-        match e.Resopt.Commplan.classification with
-        | Resopt.Commplan.General (Some f)
-        | Resopt.Commplan.Decomposed { flow = f; _ }
-          when Linalg.Mat.rows f = 2 && Linalg.Mat.cols f = 2 ->
-          Some f
-        | _ -> None)
-      plan
-  in
-  let flows =
-    match
-      Resopt.Pipeline.run ~m ~schedule:w.Resopt.Workloads.schedule
-        w.Resopt.Workloads.nest
-    with
-    | r -> of_plan r.Resopt.Pipeline.plan
-    | exception _ -> []
-  in
-  if flows = [] then [ Linalg.Mat.of_lists [ [ 1; 2 ]; [ 3; 7 ] ] ] else flows
-
 let report_cmd =
   let doc =
     "Full markdown report: plan, validation, costs, directives.  With \
@@ -726,7 +763,7 @@ let report_cmd =
     in
     Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE" ~doc)
   in
-  let net_report w name m grid mesh bytes html faults =
+  let net_report w name m grid mesh bytes html faults mapping =
     let dims =
       match
         List.map int_of_string_opt (String.split_on_char 'x' grid)
@@ -744,33 +781,58 @@ let report_cmd =
       List.concat_map
         (fun flow ->
           Machine.Patterns.affine_messages ~vgrid ~flow ~bytes ~place ())
-        (residual_flows w m)
+        (Resopt.Residual.flows_of_workload ~m w)
     in
     Obs.Telemetry.enable ();
-    (try
-       ignore
-         (Machine.Eventsim.run ?faults ~label:name topo
-            Machine.Eventsim.default_params msgs
-           : Machine.Eventsim.result)
-     with Machine.Eventsim.Deadlock { cycles; in_flight } ->
-       Format.eprintf
-         "report: simulation deadlocked after %d cycles with %d packets in \
-          flight@."
-         cycles in_flight;
-       exit 2);
-    (match Obs.Telemetry.last_run () with
-    | Some run -> print_string (Obs.Telemetry.render_ascii run)
-    | None -> ());
+    let simulate label msgs =
+      (try
+         ignore
+           (Machine.Eventsim.run ?faults ~label topo
+              Machine.Eventsim.default_params msgs
+             : Machine.Eventsim.result)
+       with Machine.Eventsim.Deadlock { cycles; in_flight } ->
+         Format.eprintf
+           "report: simulation deadlocked after %d cycles with %d packets in \
+            flight@."
+           cycles in_flight;
+         exit 2);
+      let run = Obs.Telemetry.last_run () in
+      Option.iter (fun run -> print_string (Obs.Telemetry.render_ascii run)) run;
+      run
+    in
+    let before = simulate name msgs in
+    (* --map: simulate the same traffic again under the searched
+       placement — both runs land in the telemetry sink, so the ASCII
+       heatmaps (and the HTML dashboard) show before and after *)
+    (match mapping with
+    | None -> ()
+    | Some spec ->
+      let vol = Machine.Volgraph.sorted (Machine.Volgraph.of_messages msgs) in
+      let perm = Mapping.compute spec topo vol in
+      let after = simulate (name ^ ":mapped") (Mapping.apply perm msgs) in
+      let gini r = Obs.Telemetry.gini (Obs.Telemetry.link_loads r) in
+      Format.printf
+        "mapping (--map %s): hop-bytes %d -> %d, link-load gini %s -> %s@."
+        (Mapping.kind_to_string spec.Mapping.kind)
+        (Mapping.hop_bytes topo vol
+           (Mapping.identity (Machine.Topology.size topo)))
+        (Mapping.hop_bytes topo vol perm)
+        (match before with
+        | Some r -> Printf.sprintf "%.3f" (gini r)
+        | None -> "-")
+        (match after with
+        | Some r -> Printf.sprintf "%.3f" (gini r)
+        | None -> "-"));
     match html with
     | None -> ()
     | Some file ->
       Obs.write_file file (Obs.Telemetry.render_html (Obs.Telemetry.runs ()));
       Format.eprintf "dashboard written to %s@." file
   in
-  let run name m net grid mesh bytes html faults obs =
+  let run name m net grid mesh bytes html faults mapping obs =
     let w = find_workload name in
     with_obs obs @@ fun () ->
-    if net then net_report w name m grid mesh bytes html faults
+    if net then net_report w name m grid mesh bytes html faults mapping
     else
       let r =
         Resopt.Pipeline.run ~m ~schedule:w.Resopt.Workloads.schedule
@@ -781,7 +843,7 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
       const run $ workload_arg $ m_arg $ net_arg $ grid_arg $ mesh_arg
-      $ bytes_arg $ html_arg $ faults_term $ obs_term)
+      $ bytes_arg $ html_arg $ faults_term $ map_term $ obs_term)
 
 let bench_compare_cmd =
   let doc =

@@ -17,10 +17,10 @@ let sim_vgrid (model : Machine.Models.t) =
     Some [| 4 * Machine.Topology.dim topo 0; 4 * Machine.Topology.dim topo 1 |]
   else None
 
-let general_cost ~faults model ~bytes flow =
+let general_cost ~faults ?remap model ~bytes flow =
   match (flow, sim_vgrid model) with
   | Some flow, Some vgrid when Mat.rows flow = 2 && Mat.cols flow = 2 ->
-    (Distrib.Foldsim.time ~coalesce:false ~faults model
+    (Distrib.Foldsim.time ~coalesce:false ~faults ?remap model
        ~layout:(Distrib.Layout.all_cyclic 2) ~vgrid ~flow ~bytes ())
       .Machine.Netsim.time
   | _ ->
@@ -36,7 +36,7 @@ let general_cost ~faults model ~bytes flow =
        +. (net.Machine.Netsim.hop
           *. float_of_int (Machine.Topology.diameter model.Machine.Models.topo)))
 
-let decomposed_cost ~faults model ~bytes ~flow factors =
+let decomposed_cost ~faults ?remap model ~bytes ~flow factors =
   let phases =
     match sim_vgrid model with
     | Some vgrid
@@ -50,7 +50,7 @@ let decomposed_cost ~faults model ~bytes ~flow factors =
       in
       let layout = [| Distrib.Layout.Grouped k; Distrib.Layout.Grouped k |] in
       Distrib.Foldsim.total_time
-        (Distrib.Foldsim.decomposed_time ~faults model ~layout ~vgrid ~factors ~bytes ())
+        (Distrib.Foldsim.decomposed_time ~faults ?remap model ~layout ~vgrid ~factors ~bytes ())
     | _ ->
       (* fall back: one conflict-free axis communication per factor *)
       Machine.Fault.uniform_slowdown faults
@@ -59,13 +59,13 @@ let decomposed_cost ~faults model ~bytes ~flow factors =
   in
   (* the runtime keeps whichever implementation is cheaper; a
      decomposition never has to be used when the direct path wins *)
-  let direct = general_cost ~faults model ~bytes (Some flow) in
+  let direct = general_cost ~faults ?remap model ~bytes (Some flow) in
   min phases direct
 
 (* Collectives and translations are priced closed-form; under faults
    they degrade by the machine-wide slowdown (expected retransmissions
    over the global flaky probability / remaining bandwidth). *)
-let entry_cost ~faults model ~bytes (e : Commplan.entry) =
+let entry_cost ~faults ?remap model ~bytes (e : Commplan.entry) =
   let degrade c = Machine.Fault.uniform_slowdown faults *. c in
   match e.Commplan.classification with
   | Commplan.Local -> 0.0
@@ -85,8 +85,8 @@ let entry_cost ~faults model ~bytes (e : Commplan.entry) =
   | Commplan.Scatter _ -> degrade (Machine.Models.scatter_time model ~bytes)
   | Commplan.Gather _ -> degrade (Machine.Models.gather_time model ~bytes)
   | Commplan.Decomposed { factors; flow } ->
-    decomposed_cost ~faults model ~bytes ~flow factors
-  | Commplan.General flow -> general_cost ~faults model ~bytes flow
+    decomposed_cost ~faults ?remap model ~bytes ~flow factors
+  | Commplan.General flow -> general_cost ~faults ?remap model ~bytes flow
 
 (* ------------------------------------------------------------------ *)
 (* Memoization of whole-plan pricing                                   *)
@@ -143,13 +143,42 @@ let entry_key (e : Commplan.entry) =
   in
   Printf.sprintf "%s/%s:%s" e.Commplan.stmt e.Commplan.label class_part
 
-let plan_key ~bytes ~faults model plan =
-  Printf.sprintf "%s|b%d|f%s|%s" (model_key model) bytes (faults_key faults)
+(* The mapping spec joins the key only when given: a mapping-free
+   pricing keeps the exact PR-6 key (and behavior). *)
+let mapping_key = function
+  | None -> ""
+  | Some (s : Mapping.spec) ->
+    Printf.sprintf "|map:%s:%d:%d" (Mapping.kind_to_string s.Mapping.kind)
+      s.Mapping.seed s.Mapping.restarts
+
+let plan_key ?mapping ~bytes ~faults model plan =
+  Printf.sprintf "%s|b%d|f%s%s|%s" (model_key model) bytes (faults_key faults)
+    (mapping_key mapping)
     (String.concat ";" (List.map entry_key plan))
 
-let of_plan ?(bytes = 64) ?(faults = Machine.Fault.none) ?cache model plan =
+(* The placement a mapping spec picks for this (model, plan) pair: the
+   plan's residual flows are materialized on the simulation grid under
+   the same cyclic fold [general_cost] prices, collapsed to a volume
+   graph, and searched.  None when the model has no 2-D simulation
+   grid or the plan leaves no 2x2 flows — pricing is then untouched. *)
+let remap_of ~bytes model plan (spec : Mapping.spec) =
+  match sim_vgrid model with
+  | None -> None
+  | Some vgrid -> (
+    match Residual.flows_of_plan plan with
+    | [] -> None
+    | flows ->
+      let topo = model.Machine.Models.topo in
+      let layout = Distrib.Layout.all_cyclic 2 in
+      let place v = Distrib.Layout.place layout ~vgrid ~topo v in
+      let vol = Residual.volume_graph ~vgrid ~bytes ~place flows in
+      Some (Mapping.compute spec topo vol))
+
+let of_plan ?(bytes = 64) ?(faults = Machine.Fault.none) ?cache ?mapping model
+    plan =
   Cache.scoped ?enable:cache @@ fun () ->
   let price () =
+    let remap = Option.bind mapping (remap_of ~bytes model plan) in
     let entries =
       List.map
         (fun (e : Commplan.entry) ->
@@ -157,7 +186,7 @@ let of_plan ?(bytes = 64) ?(faults = Machine.Fault.none) ?cache model plan =
             stmt = e.Commplan.stmt;
             label = e.Commplan.label;
             class_name = Commplan.classification_name e.Commplan.classification;
-            cost = entry_cost ~faults model ~bytes e;
+            cost = entry_cost ~faults ?remap model ~bytes e;
           })
         plan
     in
@@ -165,7 +194,8 @@ let of_plan ?(bytes = 64) ?(faults = Machine.Fault.none) ?cache model plan =
   in
   if not (Cache.enabled ()) then price ()
   else
-    Cache.Memo.find_or_compute memo ~key:(plan_key ~bytes ~faults model plan)
+    Cache.Memo.find_or_compute memo
+      ~key:(plan_key ?mapping ~bytes ~faults model plan)
       price
 
 let pp ppf b =

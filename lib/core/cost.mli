@@ -17,10 +17,17 @@ type entry_cost = {
 
 type breakdown = { entries : entry_cost list; total : float }
 
+val sim_vgrid : Machine.Models.t -> int array option
+(** The virtual grid 2-D flows are simulated on (four virtual
+    processors per physical one per dimension); [None] for models
+    without a 2-D topology.  Exposed so mapping consumers (CLI, bench)
+    build their volume graphs on the same grid pricing uses. *)
+
 val of_plan :
   ?bytes:int ->
   ?faults:Machine.Fault.t ->
   ?cache:bool ->
+  ?mapping:Mapping.spec ->
   Machine.Models.t ->
   Commplan.t ->
   breakdown
@@ -43,6 +50,17 @@ val of_plan :
     {!Machine.Fault.uniform_slowdown}.  Comparing a plan's price with
     and without faults — or the optimized plan against the baseline
     under the same faults — is how mapping {e resilience} is
-    measured ({!Sweep}). *)
+    measured ({!Sweep}).
+
+    [mapping] prices the plan under a searched process placement: the
+    plan's residual flows ({!Residual.flows_of_plan}) are collapsed to
+    a volume graph on the model's simulation grid and the placement
+    {!Mapping.compute} picks is composed after the layout fold for
+    every simulated entry (2x2 general flows and decomposed phases);
+    closed-form entries (collectives, translations) are
+    placement-invariant and unchanged.  On models without a 2-D
+    simulation grid, or plans without 2x2 flows, [mapping] is a no-op.
+    Omitting it keeps pricing — and the memo key — byte-identical to a
+    build without the mapping subsystem. *)
 
 val pp : Format.formatter -> breakdown -> unit

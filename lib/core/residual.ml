@@ -1,0 +1,35 @@
+(* The flows a plan leaves on the wire after the macro-communications
+   are peeled off: the 2x2 data-flow matrices of its general and
+   decomposed entries.  This is the one extraction shared by plan
+   pricing (Cost ?mapping), the chaos harness and `report --net` —
+   each used to carry its own copy. *)
+
+open Linalg
+
+let default_flow = Mat.of_lists [ [ 1; 2 ]; [ 3; 7 ] ]
+
+let flows_of_plan plan =
+  List.filter_map
+    (fun (e : Commplan.entry) ->
+      match e.Commplan.classification with
+      | Commplan.General (Some f) | Commplan.Decomposed { flow = f; _ }
+        when Mat.rows f = 2 && Mat.cols f = 2 ->
+        Some f
+      | _ -> None)
+    plan
+
+let flows_of_workload ~m (w : Workloads.t) =
+  let flows =
+    match Pipeline.run ~m ~schedule:w.Workloads.schedule w.Workloads.nest with
+    | r -> flows_of_plan r.Pipeline.plan
+    | exception _ -> []
+  in
+  if flows = [] then [ default_flow ] else flows
+
+let volume_graph ~vgrid ~bytes ~place flows =
+  Machine.Volgraph.sorted
+    (Machine.Volgraph.of_messages
+       (List.concat_map
+          (fun flow ->
+            Machine.Patterns.affine_messages ~vgrid ~flow ~bytes ~place ())
+          flows))

@@ -1,0 +1,32 @@
+(** Residual flows of a communication plan, and their volume graph.
+
+    One shared extraction for every consumer of "what traffic does
+    this plan leave on the wire": plan pricing under a searched
+    placement ({!Cost.of_plan} [?mapping]), the chaos harness and
+    [report --net]. *)
+
+open Linalg
+
+val default_flow : Mat.t
+(** The paper's running example [T = [[1;2];[3;7]]] — the fallback
+    traffic when a plan has no 2x2 residual flows, so simulations
+    always have something to route. *)
+
+val flows_of_plan : Commplan.t -> Mat.t list
+(** The 2x2 data-flow matrices of the plan's [General] and
+    [Decomposed] entries, in plan order.  Possibly empty. *)
+
+val flows_of_workload : m:int -> Workloads.t -> Mat.t list
+(** Run the optimizer on the workload and extract its residual flows;
+    [[{!default_flow}]] when the pipeline fails or leaves none. *)
+
+val volume_graph :
+  vgrid:int array ->
+  bytes:int ->
+  place:(int array -> int) ->
+  Mat.t list ->
+  Machine.Volgraph.t
+(** Materialize the flows as messages on the virtual grid
+    ({!Machine.Patterns.affine_messages}), folded by [place], and
+    collapse them to a canonical (sorted) volume graph — the input the
+    mapping search minimizes over. *)

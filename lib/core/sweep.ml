@@ -9,6 +9,7 @@ type row = {
   time_ms : float;
   cost_ms : float;
   resilience : (float * float) list;
+  map_gain : float option;
 }
 
 (* The fault model priced at one resilience rate: the caller's base
@@ -32,7 +33,7 @@ let profile_task label f =
    [sweep.time_ms] histogram — stamping the same measurement into
    every model row used to triple-count it; per-model pricing gets its
    own clock ([cost_ms] / [sweep.cost_ms]). *)
-let eval_cell models fault_rates (w : Workloads.t) m =
+let eval_cell models fault_rates mapping (w : Workloads.t) m =
   profile_task (fun () ->
       Printf.sprintf "cell:%s:m=%d" w.Workloads.name m)
   @@ fun () ->
@@ -76,6 +77,19 @@ let eval_cell models fault_rates (w : Workloads.t) m =
               (rate, if o > 0.0 then b /. o else 0.0))
             fault_rates
         in
+        (* placement gain: the optimized plan's price under the fixed
+           embedding over its price under the searched one.  1.0 when
+           the mapping cannot help (no 2-D simulation grid, no 2x2
+           residual flows, or nothing gained). *)
+        let map_gain =
+          Option.map
+            (fun spec ->
+              let mapped =
+                (Cost.of_plan ~mapping:spec model opt.Pipeline.plan).Cost.total
+              in
+              if mapped > 0.0 then optimized /. mapped else 1.0)
+            mapping
+        in
         let row =
           {
             workload = w.Workloads.name;
@@ -88,6 +102,7 @@ let eval_cell models fault_rates (w : Workloads.t) m =
             time_ms = elapsed_ms;
             cost_ms;
             resilience;
+            map_gain;
           }
         in
         (* counter snapshot of the cell, for `--stats` and the
@@ -102,7 +117,8 @@ let eval_cell models fault_rates (w : Workloads.t) m =
 
 let default_fault_rates = [ 0.0; 0.01; 0.05 ]
 
-let run ?jobs ?(ms = [ 2 ]) ?models ?workloads ?faults ?fault_rates ?cache () =
+let run ?jobs ?(ms = [ 2 ]) ?models ?workloads ?faults ?fault_rates ?cache
+    ?mapping () =
   Cache.scoped ?enable:cache @@ fun () ->
   let models =
     match models with
@@ -121,7 +137,7 @@ let run ?jobs ?(ms = [ 2 ]) ?models ?workloads ?faults ?fault_rates ?cache () =
   let cells =
     List.concat_map (fun w -> List.map (fun m -> (w, m)) ms) workloads
   in
-  let eval (w, m) = eval_cell models fault_rates w m in
+  let eval (w, m) = eval_cell models fault_rates mapping w m in
   match jobs with
   | None -> List.concat_map eval cells
   | Some j ->
@@ -134,6 +150,9 @@ let run ?jobs ?(ms = [ 2 ]) ?models ?workloads ?faults ?fault_rates ?cache () =
 let rates_of rows =
   match rows with r :: _ -> List.map fst r.resilience | [] -> []
 
+let has_map_gain rows =
+  match rows with r :: _ -> r.map_gain <> None | [] -> false
+
 let pp_table ppf rows =
   let rates = rates_of rows in
   Format.fprintf ppf "%-12s %2s %-8s %12s %12s %8s %6s %9s %9s" "workload" "m"
@@ -141,6 +160,7 @@ let pp_table ppf rows =
   List.iter
     (fun rate -> Format.fprintf ppf " %8s" (Printf.sprintf "g@%g%%" (rate *. 100.0)))
     rates;
+  if has_map_gain rows then Format.fprintf ppf " %8s" "gain_map";
   Format.fprintf ppf "@.";
   List.iter
     (fun r ->
@@ -149,6 +169,7 @@ let pp_table ppf rows =
         (if r.optimized > 0.0 then r.baseline /. r.optimized else Float.infinity)
         r.validated r.time_ms r.cost_ms;
       List.iter (fun (_, g) -> Format.fprintf ppf " %7.2fx" g) r.resilience;
+      Option.iter (fun g -> Format.fprintf ppf " %7.2fx" g) r.map_gain;
       Format.fprintf ppf "@.")
     rows
 
@@ -159,6 +180,7 @@ let to_csv rows =
   List.iter
     (fun rate -> Buffer.add_string buf (Printf.sprintf ",gain_fault_%g" rate))
     rates;
+  if has_map_gain rows then Buffer.add_string buf ",gain_map";
   Buffer.add_char buf '\n';
   List.iter
     (fun r ->
@@ -170,6 +192,9 @@ let to_csv rows =
       List.iter
         (fun (_, g) -> Buffer.add_string buf (Printf.sprintf ",%.6f" g))
         r.resilience;
+      Option.iter
+        (fun g -> Buffer.add_string buf (Printf.sprintf ",%.6f" g))
+        r.map_gain;
       Buffer.add_char buf '\n')
     rows;
   Buffer.contents buf
@@ -182,10 +207,25 @@ let metrics rows =
     let rs = List.filter (fun r -> r.model = name) rows in
     let opt = List.fold_left (fun acc r -> acc +. r.optimized) 0.0 rs in
     let base = List.fold_left (fun acc r -> acc +. r.baseline) 0.0 rs in
+    let mapped =
+      (* summed optimized cost under the placement, recovered from the
+         per-row gain; None when the sweep ran without a mapping *)
+      List.fold_left
+        (fun acc r ->
+          match (acc, r.map_gain) with
+          | Some acc, Some g when g > 0.0 -> Some (acc +. (r.optimized /. g))
+          | _ -> None)
+        (Some 0.0) rs
+    in
     [
       (Printf.sprintf "%s.gain" name, (if opt > 0.0 then base /. opt else 0.0));
       (Printf.sprintf "%s.optimized_cost" name, opt);
     ]
+    @
+    match mapped with
+    | Some m when rs <> [] ->
+      [ (Printf.sprintf "%s.map_gain" name, if m > 0.0 then opt /. m else 1.0) ]
+    | _ -> []
   in
   (("rows", float_of_int (List.length rows))
    :: ( "validated",

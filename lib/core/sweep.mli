@@ -31,6 +31,15 @@ type row = {
           on top.  Empty unless the sweep was given [faults] or
           [fault_rates] — rows without resilience render and CSV
           exactly as before. *)
+  map_gain : float option;
+      (** the optimized plan's price under the paper's fixed embedding
+          over its price under the searched process placement
+          ({!Cost.of_plan} [?mapping]) — how much the mapping layer
+          recovers on top of the two-step heuristic.  [1.0] when the
+          placement cannot help (no 2-D simulation grid, no 2x2
+          residual flows, or a local optimum at identity); [None]
+          unless the sweep was given [mapping], in which case rows
+          render and CSV exactly as before. *)
 }
 
 val default_fault_rates : float list
@@ -45,6 +54,7 @@ val run :
   ?faults:Machine.Fault.t ->
   ?fault_rates:float list ->
   ?cache:bool ->
+  ?mapping:Mapping.spec ->
   unit ->
   row list
 (** Defaults: [ms = [2]], all three machine models, all workloads.
@@ -58,6 +68,14 @@ val run :
     [faults] defaults to {!Machine.Fault.none} when only
     [fault_rates] is given).  Omitting both keeps the rows — and the
     rendered table and CSV — byte-identical to a fault-free sweep.
+
+    [mapping] additionally prices every optimized plan under the
+    searched process placement ({!Cost.of_plan} [?mapping]) and fills
+    the rows' [map_gain] — the new [gain_map] table / CSV column.
+    The mapping search is deterministic for a given spec, so the CSV
+    still diffs clean across runs and job counts; omitting [mapping]
+    keeps the rows, the table and the CSV byte-identical to a
+    mapping-free sweep.
 
     [cache] scopes {!Cache} around the whole sweep ([true] memoizes
     the linear-algebra solves and per-cell pricing, [false] forces the
@@ -91,11 +109,14 @@ val to_csv : row list -> string
     When the rows carry resilience data, one [gain_fault_R] column per
     rate is appended after [validated]; fault pricing is deterministic
     for a given seed + spec, so the CSV still diffs clean across
-    repeated runs and job counts. *)
+    repeated runs and job counts.  When the rows carry mapping data, a
+    [gain_map] column is appended last, same determinism contract. *)
 
 val metrics : row list -> (string * float) list
 (** Deterministic aggregates of a sweep for benchmark recording
     ({!Obs.Benchstore}): row / validated / non-local totals plus, per
     machine model, the aggregate gain (summed baseline over summed
-    optimized cost) and the summed optimized cost.  No timing fields,
+    optimized cost) and the summed optimized cost — plus, when the
+    sweep ran with [mapping], the aggregate [map_gain] (summed
+    unmapped over summed mapped optimized cost).  No timing fields,
     so the values are stable across runs and [jobs] levels. *)

@@ -1,16 +1,21 @@
 open Linalg
 
-let place_fn model ~layout ~vgrid =
+(* [remap] composes a process placement (physical rank -> physical
+   rank, from the mapping layer) after the layout fold. *)
+let place_fn ?remap model ~layout ~vgrid =
   let topo = model.Machine.Models.topo in
-  fun v -> Layout.place layout ~vgrid ~topo v
+  let fold v = Layout.place layout ~vgrid ~topo v in
+  match remap with
+  | None -> fold
+  | Some perm -> fun v -> perm.(fold v)
 
-let time ?coalesce ?faults model ~layout ~vgrid ~flow ?offset ?(bytes = 8) () =
-  let place = place_fn model ~layout ~vgrid in
+let time ?coalesce ?faults ?remap model ~layout ~vgrid ~flow ?offset ?(bytes = 8) () =
+  let place = place_fn ?remap model ~layout ~vgrid in
   let msgs = Machine.Patterns.affine_messages ~vgrid ~flow ?offset ~bytes ~place () in
   Machine.Models.run ?coalesce ?faults model msgs
 
-let decomposed_time ?faults model ~layout ~vgrid ~factors ?(bytes = 8) () =
-  let place = place_fn model ~layout ~vgrid in
+let decomposed_time ?faults ?remap model ~layout ~vgrid ~factors ?(bytes = 8) () =
+  let place = place_fn ?remap model ~layout ~vgrid in
   (* The rightmost factor moves first: T = f1 f2 ... fn applied to v is
      realised as v -> fn v -> f(n-1) fn v -> ...; positions live on the
      virtual torus. *)

@@ -6,6 +6,7 @@ open Linalg
 val time :
   ?coalesce:bool ->
   ?faults:Machine.Fault.t ->
+  ?remap:int array ->
   Machine.Models.t ->
   layout:Layout.t ->
   vgrid:int array ->
@@ -18,10 +19,14 @@ val time :
     virtual grid, folded onto the model's topology by [layout].
     [coalesce:false] models the generic (non-vectorizable) runtime
     path used for a general affine communication; [faults] prices it
-    on the degraded machine ({!Machine.Netsim.run}). *)
+    on the degraded machine ({!Machine.Netsim.run}); [remap] composes
+    a process placement (a permutation of physical ranks, from the
+    mapping layer) after the layout fold, so the same traffic is
+    priced under a searched embedding. *)
 
 val decomposed_time :
   ?faults:Machine.Fault.t ->
+  ?remap:int array ->
   Machine.Models.t ->
   layout:Layout.t ->
   vgrid:int array ->

@@ -29,16 +29,15 @@ let effective_load faults l bytes =
     let w = Fault.expected_transmissions faults l /. Fault.bandwidth_factor faults l in
     int_of_float (ceil (float_of_int bytes *. w))
 
-(* The one per-link accumulation, shared by [link_loads] and [run]. *)
+(* The one per-link accumulation, shared by [link_loads] and [run]:
+   a {!Volgraph} accumulator keyed by directed link. *)
 let add_route_loads faults loads bytes path =
   List.iter
-    (fun link ->
-      let cur = Option.value ~default:0 (Hashtbl.find_opt loads link) in
-      Hashtbl.replace loads link (cur + effective_load faults link bytes))
+    (fun link -> Volgraph.add loads link (effective_load faults link bytes))
     path
 
 let link_loads ?(faults = Fault.none) topo msgs =
-  let loads : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let loads = Volgraph.acc () in
   List.iter
     (fun (m : Message.t) ->
       if not (Message.is_local m) then
@@ -46,18 +45,14 @@ let link_loads ?(faults = Fault.none) topo msgs =
         | Some path -> add_route_loads faults loads m.Message.bytes path
         | None -> ())
     msgs;
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) loads []
+  Volgraph.to_list loads
 
-(* Coalesce messages sharing (src, dst): one start-up, summed bytes. *)
+(* Coalesce messages sharing (src, dst): one start-up, summed bytes —
+   the volume graph turned back into messages. *)
 let coalesce_messages msgs =
-  let tbl : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
-  List.iter
-    (fun (m : Message.t) ->
-      let k = (m.Message.src, m.Message.dst) in
-      let cur = Option.value ~default:0 (Hashtbl.find_opt tbl k) in
-      Hashtbl.replace tbl k (cur + m.Message.bytes))
-    msgs;
-  Hashtbl.fold (fun (src, dst) bytes acc -> Message.make ~src ~dst ~bytes :: acc) tbl []
+  List.map
+    (fun ((src, dst), bytes) -> Message.make ~src ~dst ~bytes)
+    (Volgraph.of_messages msgs)
 
 let run ?(coalesce = true) ?(faults = Fault.none) ?(label = "") topo params msgs
     =
@@ -68,7 +63,7 @@ let run ?(coalesce = true) ?(faults = Fault.none) ?(label = "") topo params msgs
   let total_bytes = ref 0 and total_hops = ref 0 and max_hops = ref 0 in
   let unreachable = ref 0 in
   let priced = ref 0 in
-  let loads : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let loads = Volgraph.acc () in
   let tele = Obs.Telemetry.enabled () in
   let t_msgs = ref [] (* reverse *) in
   let t_packets : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
@@ -111,7 +106,7 @@ let run ?(coalesce = true) ?(faults = Fault.none) ?(label = "") topo params msgs
             path
         end)
     remote;
-  let max_link_load = Hashtbl.fold (fun _ v acc -> max v acc) loads 0 in
+  let max_link_load = Volgraph.fold (fun _ v acc -> max v acc) loads 0 in
   let max_sender = Array.fold_left max 0 send in
   let max_receiver = Array.fold_left max 0 recv in
   let serial = max max_sender max_receiver in
@@ -142,7 +137,7 @@ let run ?(coalesce = true) ?(faults = Fault.none) ?(label = "") topo params msgs
             queue_area = 0;
             stalled = 0;
           })
-        (List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) loads []))
+        (List.sort compare (Volgraph.to_list loads))
     in
     Obs.Telemetry.record_run
       {

@@ -73,7 +73,8 @@ val run :
     are no latency series), tagged with [label]. *)
 
 val coalesce_messages : Message.t list -> Message.t list
-(** Merge messages sharing (src, dst) into one with summed bytes. *)
+(** Merge messages sharing (src, dst) into one with summed bytes —
+    {!Volgraph.of_messages} turned back into messages. *)
 
 val link_loads :
   ?faults:Fault.t -> Topology.t -> Message.t list -> ((int * int) * int) list

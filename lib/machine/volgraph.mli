@@ -1,0 +1,40 @@
+(** Communication-volume graphs: bytes per ordered endpoint pair.
+
+    This is the residual-communication summary everything downstream
+    shares — {!Netsim.coalesce_messages} turns it back into one
+    message per pair, {!Netsim.link_loads} and {!Netsim.run} use the
+    same accumulator keyed by directed link, and the mapping layer
+    ([lib/mapping]) reads it as the volume side of the sparse
+    quadratic-assignment objective [sum volume(p,q) * dist(p, q)]. *)
+
+type t = ((int * int) * int) list
+(** One entry per ordered pair that communicates; pairs are unique but
+    the list order is unspecified (see {!sorted}). *)
+
+type acc
+(** A mutable (pair -> summed int) accumulator. *)
+
+val acc : unit -> acc
+val add : acc -> int * int -> int -> unit
+
+val to_list : acc -> t
+(** Accumulated entries, in unspecified (but deterministic for a given
+    insertion sequence) order. *)
+
+val fold : (int * int -> int -> 'a -> 'a) -> acc -> 'a -> 'a
+(** Fold over the accumulated entries, same order as {!to_list}. *)
+
+val of_messages : Message.t list -> t
+(** The volume graph of a message list: [(src, dst) -> summed bytes].
+    Local messages ([src = dst]) are kept; they carry no distance
+    cost, but they do carry volume. *)
+
+val sorted : t -> t
+(** Sorted by endpoint pair — a canonical order for goldens and for
+    seeding deterministic searches. *)
+
+val total : t -> int
+(** Summed bytes over every pair. *)
+
+val nonlocal : t -> t
+(** Drop the [src = dst] entries. *)

@@ -1,0 +1,276 @@
+(* Topology-aware process placement as a sparse quadratic assignment:
+   given the residual communication-volume graph (bytes per process
+   pair) and the physical topology, find a permutation of node
+   placements minimizing hop-bytes
+
+       sum over (p, q) of volume(p, q) * dist(place p, place q).
+
+   The construction follows the VieM / Schulz-Traff playbook: a
+   greedy-growing initial placement (heaviest-communicating unplaced
+   process next, on the free node closest to its placed partners),
+   then pairwise-swap hill climbing restarted from seeded random
+   permutations.  Everything is deterministic for a given seed — ties
+   break on the lowest index, restarts draw from Fault's splitmix64
+   streams, and the cross-restart winner is the (cost, permutation)
+   lexicographic minimum, so fanning restarts over a Par pool cannot
+   change the answer. *)
+
+type t = int array
+
+type kind = Identity | Greedy | Search
+
+type spec = { kind : kind; seed : int; restarts : int }
+
+let default_restarts = 8
+
+let spec ?(seed = 0) ?(restarts = default_restarts) kind = { kind; seed; restarts }
+
+let kind_to_string = function
+  | Identity -> "none"
+  | Greedy -> "greedy"
+  | Search -> "search"
+
+let kind_of_string = function
+  | "none" | "identity" -> Some Identity
+  | "greedy" -> Some Greedy
+  | "search" -> Some Search
+  | _ -> None
+
+let identity n = Array.init n Fun.id
+
+let is_valid perm =
+  let n = Array.length perm in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun p ->
+      p >= 0 && p < n
+      &&
+      if seen.(p) then false
+      else begin
+        seen.(p) <- true;
+        true
+      end)
+    perm
+
+(* Pairwise hop distances of the topology, symmetric by construction. *)
+let dist_table topo =
+  let n = Machine.Topology.size topo in
+  Array.init n (fun src ->
+      Array.init n (fun dst -> Machine.Route.hops topo ~src ~dst))
+
+(* Symmetric weight matrix of the volume graph: w.(p).(q) = bytes
+   exchanged between p and q in either direction, diagonal zeroed
+   (local volume has no distance cost).  Out-of-range endpoints (a
+   graph wider than the topology) are ignored. *)
+let weight_matrix n vol =
+  let w = Array.make_matrix n n 0 in
+  List.iter
+    (fun ((p, q), b) ->
+      if p <> q && p >= 0 && p < n && q >= 0 && q < n then begin
+        w.(p).(q) <- w.(p).(q) + b;
+        w.(q).(p) <- w.(q).(p) + b
+      end)
+    vol;
+  w
+
+let cost_w dist w perm =
+  let n = Array.length perm in
+  let acc = ref 0 in
+  for p = 0 to n - 1 do
+    for q = p + 1 to n - 1 do
+      if w.(p).(q) <> 0 then acc := !acc + (w.(p).(q) * dist.(perm.(p)).(perm.(q)))
+    done
+  done;
+  !acc
+
+let hop_bytes topo vol perm =
+  let dist = dist_table topo in
+  cost_w dist (weight_matrix (Array.length perm) vol) perm
+
+(* ------------------------------------------------------------------ *)
+(* Greedy growing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Place the heaviest process first on the most central node, then
+   repeatedly place the unplaced process with the largest volume to
+   already-placed ones on the free node minimizing its partial
+   hop-bytes.  Every argmax/argmin scan keeps the first (lowest-index)
+   extremum, so the result is deterministic. *)
+let grow dist w n =
+  let perm = Array.make n (-1) in
+  let placed = Array.make n false (* process placed? *) in
+  let used = Array.make n false (* node occupied? *) in
+  let strength = Array.map (Array.fold_left ( + ) 0) w in
+  let first_proc =
+    let best = ref 0 in
+    for p = 1 to n - 1 do
+      if strength.(p) > strength.(!best) then best := p
+    done;
+    !best
+  in
+  let central =
+    let best = ref 0 and best_d = ref max_int in
+    for node = 0 to n - 1 do
+      let d = Array.fold_left ( + ) 0 dist.(node) in
+      if d < !best_d then begin
+        best := node;
+        best_d := d
+      end
+    done;
+    !best
+  in
+  perm.(first_proc) <- central;
+  placed.(first_proc) <- true;
+  used.(central) <- true;
+  for _ = 2 to n do
+    (* connectivity of each unplaced process to the placed region *)
+    let next = ref (-1) and next_conn = ref (-1) in
+    for p = 0 to n - 1 do
+      if not placed.(p) then begin
+        let conn = ref 0 in
+        for q = 0 to n - 1 do
+          if placed.(q) then conn := !conn + w.(p).(q)
+        done;
+        if !conn > !next_conn then begin
+          next := p;
+          next_conn := !conn
+        end
+      end
+    done;
+    let p = !next in
+    let best_node = ref (-1) and best_cost = ref max_int in
+    for node = 0 to n - 1 do
+      if not used.(node) then begin
+        let c = ref 0 in
+        for q = 0 to n - 1 do
+          if placed.(q) && w.(p).(q) <> 0 then
+            c := !c + (w.(p).(q) * dist.(node).(perm.(q)))
+        done;
+        if !c < !best_cost then begin
+          best_node := node;
+          best_cost := !c
+        end
+      end
+    done;
+    perm.(p) <- !best_node;
+    placed.(p) <- true;
+    used.(!best_node) <- true
+  done;
+  perm
+
+let greedy topo vol =
+  let n = Machine.Topology.size topo in
+  let dist = dist_table topo in
+  let w = weight_matrix n vol in
+  let grown = grow dist w n in
+  let id = identity n in
+  (* growing is a heuristic: never hand back something worse than
+     leaving the processes where they are *)
+  if cost_w dist w grown <= cost_w dist w id then grown else id
+
+(* ------------------------------------------------------------------ *)
+(* Local search                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Cost change of swapping the placements of processes [a] and [b]:
+   only their edges to third processes move, and the (a, b) edge keeps
+   its (symmetric) length.  O(n) instead of re-pricing the whole
+   permutation. *)
+let swap_delta dist w perm a b =
+  let n = Array.length perm in
+  let pa = perm.(a) and pb = perm.(b) in
+  let d = ref 0 in
+  for c = 0 to n - 1 do
+    if c <> a && c <> b then begin
+      let pc = perm.(c) in
+      let wd = w.(a).(c) - w.(b).(c) in
+      if wd <> 0 then d := !d + (wd * (dist.(pb).(pc) - dist.(pa).(pc)))
+    end
+  done;
+  !d
+
+(* Best-improvement hill climbing over all pairs, first-lowest pair on
+   delta ties; stops at a local optimum.  Mutates and returns [perm]. *)
+let climb dist w perm =
+  let n = Array.length perm in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let best_a = ref 0 and best_b = ref 0 and best_d = ref 0 in
+    for a = 0 to n - 1 do
+      for b = a + 1 to n - 1 do
+        let d = swap_delta dist w perm a b in
+        if d < !best_d then begin
+          best_a := a;
+          best_b := b;
+          best_d := d
+        end
+      done
+    done;
+    if !best_d < 0 then begin
+      let tmp = perm.(!best_a) in
+      perm.(!best_a) <- perm.(!best_b);
+      perm.(!best_b) <- tmp;
+      improved := true
+    end
+  done;
+  perm
+
+(* Fisher-Yates off the splitmix64 stream. *)
+let random_perm rng n =
+  let perm = identity n in
+  for i = n - 1 downto 1 do
+    let j = Machine.Fault.Rng.int rng (i + 1) in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  perm
+
+(* Lexicographic (cost, permutation) order: a total order on attempts,
+   so the winner does not depend on evaluation order. *)
+let better (c1, p1) (c2, p2) = c1 < c2 || (c1 = c2 && compare p1 p2 < 0)
+
+let search ?pool ?(seed = 0) ?(restarts = default_restarts) topo vol =
+  let n = Machine.Topology.size topo in
+  let dist = dist_table topo in
+  let w = weight_matrix n vol in
+  let attempt r =
+    let start =
+      if r = 0 then greedy topo vol
+      else random_perm (Machine.Fault.Rng.make (seed + r)) n
+    in
+    let p = climb dist w start in
+    (cost_w dist w p, p)
+  in
+  let indices = List.init (restarts + 1) Fun.id in
+  let attempts =
+    match pool with
+    | None -> List.map attempt indices
+    | Some pool -> Par.map pool attempt indices
+  in
+  (* restart 0 climbs from greedy, so the winner never costs more than
+     the greedy construction (which never costs more than identity) *)
+  match attempts with
+  | [] -> identity n
+  | first :: rest ->
+    snd (List.fold_left (fun acc x -> if better x acc then x else acc) first rest)
+
+let compute ?pool s topo vol =
+  match s.kind with
+  | Identity -> identity (Machine.Topology.size topo)
+  | Greedy -> greedy topo vol
+  | Search -> search ?pool ~seed:s.seed ~restarts:s.restarts topo vol
+
+let apply perm msgs =
+  let n = Array.length perm in
+  let node p = if p >= 0 && p < n then perm.(p) else p in
+  List.map
+    (fun (m : Machine.Message.t) ->
+      Machine.Message.make ~src:(node m.Machine.Message.src)
+        ~dst:(node m.Machine.Message.dst) ~bytes:m.Machine.Message.bytes)
+    msgs
+
+let pp ppf perm =
+  Format.fprintf ppf "[%s]"
+    (String.concat " " (Array.to_list (Array.map string_of_int perm)))

@@ -1,0 +1,82 @@
+(** Topology-aware process placement (sparse quadratic assignment).
+
+    The paper prices residual communications under a {e fixed}
+    virtual-grid→physical-machine embedding; this module searches the
+    embedding itself.  Given the residual communication-volume graph
+    ({!Machine.Volgraph.t}: bytes per process pair) and a physical
+    topology, it looks for a permutation of node placements minimizing
+    {e hop-bytes}
+
+    {[ sum over (p, q) of volume(p, q) * dist(place p, place q) ]}
+
+    in the VieM / Schulz–Träff style: a greedy-growing construction
+    (place the heaviest-communicating unplaced process on the free
+    node closest to its placed partners) refined by pairwise-swap hill
+    climbing with random restarts.
+
+    Everything is deterministic: ties break on the lowest index,
+    restarts draw from {!Machine.Fault.Rng} (splitmix64) streams
+    derived from the caller's seed, and the cross-restart winner is
+    the (cost, permutation) lexicographic minimum — so fanning the
+    restarts over a {!Par} pool returns the same mapping as the
+    sequential search, and the same seed is byte-identical across
+    runs. *)
+
+type t = int array
+(** A placement: process [p] lives on physical rank [t.(p)].  Always a
+    permutation of [0 .. n-1] for [n] the topology size. *)
+
+type kind = Identity | Greedy | Search
+
+type spec = { kind : kind; seed : int; restarts : int }
+(** What to compute: [Identity] is the paper's fixed embedding (a
+    no-op placement, kept so benches can price it explicitly),
+    [Greedy] the growing construction alone, [Search] greedy plus
+    seeded hill climbing.  [seed] and [restarts] only matter for
+    [Search]. *)
+
+val default_restarts : int
+(** [8] — the restart count used by {!spec} when none is given. *)
+
+val spec : ?seed:int -> ?restarts:int -> kind -> spec
+(** [seed] defaults to [0], [restarts] to {!default_restarts}. *)
+
+val kind_to_string : kind -> string
+(** ["none"], ["greedy"], ["search"] — the [--map] CLI vocabulary. *)
+
+val kind_of_string : string -> kind option
+(** Inverse of {!kind_to_string} (also accepts ["identity"]). *)
+
+val identity : int -> t
+
+val is_valid : t -> bool
+(** Is this a permutation of [0 .. n-1]? *)
+
+val hop_bytes : Machine.Topology.t -> Machine.Volgraph.t -> t -> int
+(** The objective: summed [volume * hops] over all pairs under the
+    placement.  Local volume ([p = q]) costs nothing. *)
+
+val greedy : Machine.Topology.t -> Machine.Volgraph.t -> t
+(** The growing construction.  Never returns a placement costing more
+    than {!identity}. *)
+
+val search :
+  ?pool:Par.Pool.t ->
+  ?seed:int ->
+  ?restarts:int ->
+  Machine.Topology.t ->
+  Machine.Volgraph.t ->
+  t
+(** Hill climbing from {!greedy} plus [restarts] climbs from seeded
+    random permutations; the best local optimum wins.  Never returns a
+    placement costing more than {!greedy}.  [pool] fans the restarts
+    out without changing the result. *)
+
+val compute : ?pool:Par.Pool.t -> spec -> Machine.Topology.t -> Machine.Volgraph.t -> t
+(** Dispatch on [spec.kind]. *)
+
+val apply : t -> Machine.Message.t list -> Machine.Message.t list
+(** Remap message endpoints through the placement (endpoints outside
+    the permutation's range pass through unchanged). *)
+
+val pp : Format.formatter -> t -> unit

@@ -27,14 +27,28 @@ let test_percentile () =
   (* nearest-rank on a small unsorted sample: p50 of 5 values is the
      3rd order statistic *)
   Alcotest.(check (float 1e-9)) "p50 of 5" 3.0
-    (Obs.Telemetry.percentile [| 5.0; 1.0; 4.0; 2.0; 3.0 |] 50.0)
+    (Obs.Telemetry.percentile [| 5.0; 1.0; 4.0; 2.0; 3.0 |] 50.0);
+  (* ties: the rank lands inside a run of equal values and must return
+     that value, at every percentile the run spans *)
+  let tied = [| 1.0; 2.0; 2.0; 2.0; 9.0 |] in
+  Alcotest.(check (float 1e-9)) "p25 inside a tie run" 2.0
+    (Obs.Telemetry.percentile tied 25.0);
+  Alcotest.(check (float 1e-9)) "p50 inside a tie run" 2.0
+    (Obs.Telemetry.percentile tied 50.0);
+  Alcotest.(check (float 1e-9)) "p75 inside a tie run" 2.0
+    (Obs.Telemetry.percentile tied 75.0);
+  Alcotest.(check (float 1e-9)) "all-equal sample at any p" 4.0
+    (Obs.Telemetry.percentile [| 4.0; 4.0; 4.0 |] 99.0)
 
 let test_gini () =
   Alcotest.(check (float 1e-9)) "empty" 0.0 (Obs.Telemetry.gini [||]);
   Alcotest.(check (float 1e-9)) "all zero" 0.0 (Obs.Telemetry.gini [| 0.0; 0.0 |]);
   Alcotest.(check (float 1e-9)) "uniform" 0.0 (Obs.Telemetry.gini [| 3.0; 3.0; 3.0 |]);
   Alcotest.(check (float 1e-9)) "concentrated" 0.75
-    (Obs.Telemetry.gini [| 0.0; 0.0; 0.0; 10.0 |])
+    (Obs.Telemetry.gini [| 0.0; 0.0; 0.0; 10.0 |]);
+  (* a single link carries everything yet is perfectly even with
+     itself *)
+  Alcotest.(check (float 1e-9)) "singleton" 0.0 (Obs.Telemetry.gini [| 5.0 |])
 
 (* ------------------------------------------------------------------ *)
 (* Heatmap golden (pinned loads, 3x3 torus)                            *)
