@@ -859,6 +859,74 @@ let mapbench () =
   Format.eprintf "process-mapping snapshot written to BENCH_map.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Optimization service: throughput and latency, cold vs warm          *)
+(* ------------------------------------------------------------------ *)
+
+let servebench () =
+  section "resopt serve - throughput and latency (cold vs warm cache)";
+  let seed = 42 and n = 80 and clients = 4 in
+  (* in-process server on an ephemeral port; jobs 2 exercises the
+     Par fan-out path of the solver *)
+  let cfg =
+    {
+      (Serve.Server.default_config (Serve.Wire.Tcp ("127.0.0.1", 0))) with
+      Serve.Server.jobs = 2;
+    }
+  in
+  let server = Serve.Server.start cfg in
+  let addr = Serve.Server.address server in
+  let requests = Serve.Loadgen.mix ~seed ~n () in
+  (* correctness (byte-identity to the offline CLI) is the test
+     suite's and the CI soak gate's job; here the main thread must not
+     solve while the server's solver thread owns the ambient state, so
+     no --verify — just the robustness floor: every request answered ok *)
+  let phase label =
+    let s = Serve.Loadgen.run ~addr ~clients ~requests ~seed () in
+    if s.Serve.Loadgen.ok <> s.Serve.Loadgen.sent then begin
+      Format.eprintf
+        "servebench (%s): %d of %d requests not ok (%d shed, %d timeout, %d errors)@."
+        label
+        (s.Serve.Loadgen.sent - s.Serve.Loadgen.ok)
+        s.Serve.Loadgen.sent s.Serve.Loadgen.shed s.Serve.Loadgen.timeout
+        s.Serve.Loadgen.errors;
+      exit 1
+    end;
+    Format.printf
+      "%-6s %4d req  %3d clients  %8.1f qps  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms@."
+      label s.Serve.Loadgen.sent clients s.Serve.Loadgen.achieved_qps
+      s.Serve.Loadgen.p50_ms s.Serve.Loadgen.p95_ms s.Serve.Loadgen.p99_ms;
+    record (label ^ "_qps") s.Serve.Loadgen.achieved_qps;
+    record (label ^ "_p50_ms") s.Serve.Loadgen.p50_ms;
+    record (label ^ "_p99_ms") s.Serve.Loadgen.p99_ms;
+    s
+  in
+  let cold = phase "cold" in
+  let warm = phase "warm" in
+  Serve.Server.stop server;
+  Serve.Server.wait server;
+  Format.printf "warm/cold p50: %.2fx@."
+    (if warm.Serve.Loadgen.p50_ms > 0.0 then
+       cold.Serve.Loadgen.p50_ms /. warm.Serve.Loadgen.p50_ms
+     else 1.0);
+  let run_json label (s : Serve.Loadgen.summary) =
+    Printf.sprintf
+      "{\"phase\":\"%s\",\"sent\":%d,\"ok\":%d,\"shed\":%d,\"timeout\":%d,\
+       \"errors\":%d,\"qps\":%.3f,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f}"
+      label s.Serve.Loadgen.sent s.Serve.Loadgen.ok s.Serve.Loadgen.shed
+      s.Serve.Loadgen.timeout s.Serve.Loadgen.errors
+      s.Serve.Loadgen.achieved_qps s.Serve.Loadgen.p50_ms
+      s.Serve.Loadgen.p95_ms s.Serve.Loadgen.p99_ms
+  in
+  let json =
+    Printf.sprintf
+      "{\"seed\":%d,\"requests\":%d,\"clients\":%d,\"jobs\":%d,\"runs\":[%s,%s]}"
+      seed n clients cfg.Serve.Server.jobs (run_json "cold" cold)
+      (run_json "warm" warm)
+  in
+  Obs.write_file "BENCH_serve.json" json;
+  Format.eprintf "service snapshot written to BENCH_serve.json@."
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end program time                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1013,6 +1081,7 @@ let experiments =
     ("eventsim", eventsim);
     ("faultbench", faultbench);
     ("mapbench", mapbench);
+    ("servebench", servebench);
     ("weighting", weighting);
     ("ablations", ablations);
     ("bechamel", bechamel);

@@ -251,79 +251,16 @@ let run_cmd =
     let doc = "Baseline to run instead: $(b,platonoff) or $(b,feautrier)." in
     Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"NAME" ~doc)
   in
-  let resilience_block w m (r : Resopt.Pipeline.result) faults =
-    (* the same comparison Sweep runs per row: does the optimized plan
-       keep its lead over the step-1-only baseline once the machine is
-       imperfect? *)
-    let base =
-      Resopt.Feautrier.run ~m ~schedule:w.Resopt.Workloads.schedule
-        w.Resopt.Workloads.nest
-    in
-    Format.printf "@.resilience under %a:@." Machine.Fault.pp faults;
-    Format.printf "  %-8s %12s %12s %8s %12s %12s %8s@." "model" "optimized"
-      "baseline" "gain" "opt+fault" "base+fault" "gain+f";
-    List.iter
-      (fun model ->
-        let price ?faults plan =
-          (Resopt.Cost.of_plan ?faults model plan).Resopt.Cost.total
-        in
-        let o = price r.Resopt.Pipeline.plan
-        and b = price base.Resopt.Feautrier.plan
-        and fo = price ~faults r.Resopt.Pipeline.plan
-        and fb = price ~faults base.Resopt.Feautrier.plan in
-        let gain num den = if den > 0.0 then num /. den else Float.infinity in
-        Format.printf "  %-8s %12.1f %12.1f %7.2fx %12.1f %12.1f %7.2fx@."
-          model.Machine.Models.name o b (gain b o) fo fb (gain fb fo))
-      [ Machine.Models.cm5 (); Machine.Models.paragon (); Machine.Models.t3d () ]
-  in
-  (* the placement the mapping layer picks for the plan's residual
-     traffic, per 2-D model: hop-bytes before/after plus the plan
-     price before/after (the sweep's gain_map column, one workload) *)
-  let mapping_block (r : Resopt.Pipeline.result) spec =
-    Format.printf "@.process mapping (--map %s):@."
-      (Mapping.kind_to_string spec.Mapping.kind);
-    Format.printf "  %-8s %12s %12s %8s %12s %12s %8s@." "model" "hop-bytes"
-      "mapped" "gain" "cost" "cost+map" "gain_map";
-    List.iter
-      (fun model ->
-        match Resopt.Cost.sim_vgrid model with
-        | None ->
-          Format.printf "  %-8s %12s@." model.Machine.Models.name
-            "(no 2-D grid)"
-        | Some vgrid ->
-          let topo = model.Machine.Models.topo in
-          let layout = Distrib.Layout.all_cyclic 2 in
-          let place v = Distrib.Layout.place layout ~vgrid ~topo v in
-          let vol =
-            Resopt.Residual.volume_graph ~vgrid ~bytes:64 ~place
-              (Resopt.Residual.flows_of_plan r.Resopt.Pipeline.plan)
-          in
-          let n = Machine.Topology.size topo in
-          let perm = Mapping.compute spec topo vol in
-          let hb_id = Mapping.hop_bytes topo vol (Mapping.identity n) in
-          let hb = Mapping.hop_bytes topo vol perm in
-          let cost = (Resopt.Cost.of_plan model r.Resopt.Pipeline.plan).Resopt.Cost.total in
-          let mapped =
-            (Resopt.Cost.of_plan ~mapping:spec model r.Resopt.Pipeline.plan)
-              .Resopt.Cost.total
-          in
-          let gain num den = if den > 0.0 then num /. den else 1.0 in
-          Format.printf "  %-8s %12d %12d %7.2fx %12.1f %12.1f %7.2fx@."
-            model.Machine.Models.name hb_id hb
-            (gain (float_of_int hb_id) (float_of_int hb))
-            cost mapped (gain cost mapped))
-      [ Machine.Models.cm5 (); Machine.Models.paragon (); Machine.Models.t3d () ]
-  in
   let run name m baseline faults cache mapping obs =
     let w = find_workload name in
     with_obs obs @@ fun () ->
     with_cache cache @@ fun () ->
     match baseline with
     | None ->
-      let r = Resopt.Pipeline.run ~m ~schedule:w.Resopt.Workloads.schedule w.Resopt.Workloads.nest in
-      Format.printf "%a@." Resopt.Pipeline.pp r;
-      Option.iter (mapping_block r) mapping;
-      Option.iter (resilience_block w m r) faults
+      (* the report (plus mapping / resilience blocks) renders through
+         Serve.Answer so the CLI and the serve daemon cannot drift:
+         the daemon's ok-responses are these exact bytes *)
+      print_string (Serve.Answer.render ?faults ?mapping ~m w)
     | Some "platonoff" ->
       let r =
         Resopt.Platonoff.run ~m ~schedule:w.Resopt.Workloads.schedule
@@ -854,8 +791,13 @@ let bench_compare_cmd =
      paths); the format is auto-detected."
   in
   let baseline_arg =
-    let doc = "Baseline metric file." in
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE" ~doc)
+    let doc =
+      "Baseline metric file.  A baseline that does not exist yet is \
+       treated as empty — every current metric reports as added and \
+       the comparison passes — so gating a freshly introduced \
+       $(b,BENCH_*.json) does not fail its first run."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BASELINE" ~doc)
   in
   let current_arg =
     let doc = "Current metric file (default $(b,BENCH_HISTORY.jsonl))." in
@@ -882,7 +824,14 @@ let bench_compare_cmd =
         Format.eprintf "cannot parse %s file %s: %s@." what file msg;
         exit 2
     in
-    let base = load "baseline" baseline in
+    let base =
+      if Sys.file_exists baseline then load "baseline" baseline
+      else begin
+        Format.eprintf "baseline %s does not exist; comparing against empty@."
+          baseline;
+        []
+      end
+    in
     let cur = load "current" current in
     let comps =
       Obs.Benchstore.compare_metrics ~threshold ~baseline:base ~current:cur ()
@@ -892,6 +841,148 @@ let bench_compare_cmd =
   in
   Cmd.v (Cmd.info "bench-compare" ~doc)
     Term.(const run $ baseline_arg $ current_arg $ threshold_arg)
+
+(* --socket PATH / --port N: where a service listens (serve) or is
+   reached (loadgen).  --port wins when both are given. *)
+
+let serve_addr_term ~default_sock =
+  let socket_arg =
+    let doc = "Listen on (or connect to) a Unix-domain socket at $(docv)." in
+    Arg.(value & opt string default_sock & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let port_arg =
+    let doc = "Use TCP on 127.0.0.1:$(docv) instead of the Unix socket." in
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let build socket port =
+    match port with
+    | Some p -> Serve.Wire.Tcp ("127.0.0.1", p)
+    | None -> Serve.Wire.Unix_sock socket
+  in
+  Term.(const build $ socket_arg $ port_arg)
+
+let serve_cmd =
+  let doc =
+    "Run the optimizer as a fault-tolerant service: framed requests \
+     over a Unix or TCP socket, answers byte-identical to the offline \
+     $(b,run) command, with per-request deadlines, bounded-queue \
+     admission control, coalescing of identical in-flight solves, \
+     graceful drain on SIGTERM and crash-safe cache snapshots."
+  in
+  let jobs_arg' =
+    let doc = "Fan each batch of distinct queued solves over $(docv) domains." in
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let max_queue_arg =
+    let doc = "Admission bound: shed requests beyond $(docv) queued solves." in
+    Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Default per-request deadline in milliseconds (0 = none); a \
+       request's own $(b,deadline_ms) field overrides it."
+    in
+    Arg.(value & opt int 0 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let snapshot_arg =
+    let doc =
+      "Snapshot the cache file every $(docv) solved batches (0 = only \
+       at shutdown).  Snapshots are atomic-rename writes, so a crash \
+       mid-snapshot never corrupts the previous one."
+    in
+    Arg.(value & opt int 8 & info [ "snapshot-every" ] ~docv:"N" ~doc)
+  in
+  let cache_file_arg =
+    let doc =
+      "Persist the memo tables (including served answers) to $(docv): \
+       loaded at startup — corrupt or missing starts cold — and \
+       snapshotted while serving, so restarts answer warm."
+    in
+    Arg.(value & opt (some string) None & info [ "cache-file" ] ~docv:"FILE" ~doc)
+  in
+  let run addr jobs max_queue deadline_ms snapshot_every cache_file =
+    let cfg =
+      {
+        (Serve.Server.default_config addr) with
+        Serve.Server.jobs;
+        max_queue;
+        deadline_ms;
+        snapshot_every;
+        cache_file;
+      }
+    in
+    let t = Serve.Server.start cfg in
+    Serve.Server.install_signal_handlers t;
+    Format.eprintf "resopt serve: listening on %s (jobs %d, max-queue %d)@."
+      (Serve.Wire.addr_to_string (Serve.Server.address t))
+      jobs max_queue;
+    Serve.Server.wait t;
+    Format.eprintf "resopt serve: drained, bye@."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run
+      $ serve_addr_term ~default_sock:"resopt.sock"
+      $ jobs_arg' $ max_queue_arg $ deadline_arg $ snapshot_arg $ cache_file_arg)
+
+let loadgen_cmd =
+  let doc =
+    "Replay a seeded workload mix against a running $(b,serve) daemon \
+     from concurrent clients, with capped-backoff retries on shed and \
+     timed-out requests, and report percentile latencies.  With \
+     $(b,--verify), byte-compare every answer against a local solve \
+     and exit nonzero on any mismatch."
+  in
+  let n_arg =
+    Arg.(value & opt int 50 & info [ "n" ] ~docv:"COUNT" ~doc:"Number of requests.")
+  in
+  let clients_arg =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"C" ~doc:"Concurrent client threads.")
+  in
+  let qps_arg =
+    let doc = "Target aggregate request rate (0 = as fast as possible)." in
+    Arg.(value & opt float 0.0 & info [ "qps" ] ~docv:"QPS" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed of the request mix and the retry jitter streams." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Attach this deadline (milliseconds) to every request." in
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let verify_arg =
+    let doc = "Byte-compare every ok answer against a local solve." in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let report_arg =
+    let doc = "Write the outcome/latency summary to $(docv) as JSON." in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let run addr n clients qps seed deadline_ms verify report =
+    let requests = Serve.Loadgen.mix ~seed ?deadline_ms ~n () in
+    let s =
+      Serve.Loadgen.run ~addr ~clients ~qps ~verify ~requests ~seed ()
+    in
+    Format.printf "%a" Serve.Loadgen.pp s;
+    List.iter
+      (fun key ->
+        Format.printf "MISMATCH on request:@.%s@."
+          (String.concat "  " (String.split_on_char '\n' key)))
+      s.Serve.Loadgen.mismatched;
+    (match report with
+    | Some file ->
+      Obs.write_file file (Serve.Loadgen.summary_json s);
+      Format.eprintf "report written to %s@." file
+    | None -> ());
+    if s.Serve.Loadgen.mismatches > 0 || s.Serve.Loadgen.errors > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(
+      const run
+      $ serve_addr_term ~default_sock:"resopt.sock"
+      $ n_arg $ clients_arg $ qps_arg $ seed_arg $ deadline_arg $ verify_arg
+      $ report_arg)
 
 let simulate_cmd =
   let doc =
@@ -939,4 +1030,4 @@ let () =
   Obs.set_clock Unix.gettimeofday;
   let doc = "Optimize residual communications of affine loop nests (Dion, Randriamaro, Robert 1996)." in
   let info = Cmd.info "resopt-cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; graph_cmd; codegen_cmd; parse_cmd; compile_cmd; report_cmd; fuzz_cmd; autodim_cmd; spmd_cmd; simulate_cmd; sweep_cmd; search_cmd; chaos_cmd; bench_compare_cmd; profile_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; graph_cmd; codegen_cmd; parse_cmd; compile_cmd; report_cmd; fuzz_cmd; autodim_cmd; spmd_cmd; simulate_cmd; sweep_cmd; search_cmd; chaos_cmd; bench_compare_cmd; profile_cmd; serve_cmd; loadgen_cmd ]))

@@ -318,6 +318,11 @@ let fnv1a s =
 
 type section = { p_name : string; p_schema : string; p_pairs : (string * string) list }
 
+(* Crash safety: the file is written beside its destination and moved
+   into place with [Sys.rename], which is atomic on POSIX within one
+   directory.  A crash (even kill -9) mid-save therefore leaves either
+   the previous complete file or an orphaned [.tmp] — never a
+   truncated cache that [load] would have to discard. *)
 let save path =
   let sections =
     List.filter_map
@@ -328,12 +333,20 @@ let save path =
       (registered ())
   in
   let payload = Marshal.to_string sections [] in
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Printf.fprintf oc "%s\n%016x\n" magic (fnv1a payload);
-      output_string oc payload)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (match
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         Printf.fprintf oc "%s\n%016x\n" magic (fnv1a payload);
+         output_string oc payload)
+   with
+  | () -> ()
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Sys.rename tmp path
 
 let load path =
   match open_in_bin path with
@@ -351,10 +364,16 @@ let load path =
       end
     in
     (* a bad file of any flavour — truncated header, checksum
-       mismatch, unmarshalable payload — degrades to a cold cache *)
+       mismatch, unmarshalable payload — degrades to a cold cache,
+       but visibly: the discard feeds the [cache.load_corrupt]
+       counter (the file existed, so silence would hide real loss) *)
+    let corrupt () =
+      Obs.incr "cache.load_corrupt";
+      false
+    in
     match Fun.protect ~finally:(fun () -> close_in ic) parse with
-    | exception _ -> false
-    | None -> false
+    | exception _ -> corrupt ()
+    | None -> corrupt ()
     | Some sections ->
       let tables = registered () in
       List.iter

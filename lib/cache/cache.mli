@@ -139,12 +139,18 @@ end
     cache, never to a crash. *)
 
 val save : string -> unit
-(** Write the current domain's shards of every [persist] table.
-    Raises [Sys_error] if the file cannot be written. *)
+(** Write the current domain's shards of every [persist] table —
+    crash-safely: the bytes go to [file ^ ".tmp"] first and are moved
+    into place with an atomic [Sys.rename], so a crash (or [kill -9],
+    as the serve snapshot loop invites) mid-save leaves the previous
+    complete file intact rather than a truncated one.  Raises
+    [Sys_error] if the file cannot be written. *)
 
 val load : string -> bool
 (** [load file] merges the file's entries into the current domain's
     shards (through the normal insertion path, so capacities hold) and
     returns [true]; returns [false] — caching simply starts cold — if
     the file is missing, truncated, corrupted, from another format
-    version, or fails to unmarshal. *)
+    version, or fails to unmarshal.  A file that {e exists} but fails
+    validation additionally bumps the [cache.load_corrupt] Obs
+    counter, so silent warm-cache loss is visible in [--stats]. *)

@@ -6,10 +6,9 @@ module Rng = struct
 
   let golden = 0x9E3779B97F4A7C15L
 
-  let mix64 z =
-    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-    Int64.logxor z (Int64.shift_right_logical z 31)
+  (* the splitmix64 finalizer lives in Backoff so the retry-delay
+     helper and this generator share one arithmetic *)
+  let mix64 = Backoff.mix64
 
   let make seed = { state = Int64.of_int seed }
 
@@ -17,9 +16,7 @@ module Rng = struct
     t.state <- Int64.add t.state golden;
     mix64 t.state
 
-  (* top 53 bits, uniform in [0, 1) *)
-  let to_unit_float z =
-    Int64.to_float (Int64.shift_right_logical z 11) *. (1.0 /. 9007199254740992.0)
+  let to_unit_float = Backoff.to_unit_float
 
   let float t = to_unit_float (next t)
 
@@ -140,20 +137,10 @@ let drops t ~packet ~hop ~attempt ~link =
   &&
   let p = drop_prob t link in
   p > 0.0
-  && (p >= 1.0
-     ||
-     let mix acc k =
-       Rng.mix64 (Int64.add (Int64.mul acc 0x100000001B3L) (Int64.of_int k))
-     in
-     let z =
-       List.fold_left mix (Int64.of_int t.seed) [ packet; hop; attempt ]
-     in
-     Rng.to_unit_float (Rng.mix64 z) < p)
+  && (p >= 1.0 || Backoff.hash_unit ~seed:t.seed [ packet; hop; attempt ] < p)
 
 let backoff t ~attempt =
-  let attempt = max 1 attempt in
-  let rec go acc n = if n <= 1 || acc >= t.backoff_cap then acc else go (acc * 2) (n - 1) in
-  min (go t.ack_timeout attempt) t.backoff_cap
+  Backoff.exp_delay ~base:t.ack_timeout ~cap:t.backoff_cap ~attempt
 
 let expected_transmissions t l =
   let p = drop_prob t l in

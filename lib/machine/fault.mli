@@ -133,7 +133,8 @@ val drops : t -> packet:int -> hop:int -> attempt:int -> link:(int * int) -> boo
 
 val backoff : t -> attempt:int -> int
 (** Cycles to wait before retransmission number [attempt] (1-based):
-    [min (ack_timeout * 2^(attempt-1)) backoff_cap]. *)
+    [min (ack_timeout * 2^(attempt-1)) backoff_cap], i.e.
+    {!Backoff.exp_delay} over the model's protocol knobs. *)
 
 val expected_transmissions : t -> int * int -> float
 (** [1 / (1 - p)] for the link's drop probability, capped at

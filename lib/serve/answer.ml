@@ -1,0 +1,112 @@
+(* The run-command report, rendered to a string.  This code used to
+   live in bin/resopt_cli.ml printing to stdout; it moved here verbatim
+   (printf -> fprintf) so the server and the CLI share one renderer and
+   byte-identity holds by construction. *)
+
+let models () =
+  [ Machine.Models.cm5 (); Machine.Models.paragon (); Machine.Models.t3d () ]
+
+(* the same comparison Sweep runs per row: does the optimized plan keep
+   its lead over the step-1-only baseline once the machine is
+   imperfect? *)
+let resilience_block ppf w m (r : Resopt.Pipeline.result) faults =
+  let base =
+    Resopt.Feautrier.run ~m ~schedule:w.Resopt.Workloads.schedule
+      w.Resopt.Workloads.nest
+  in
+  Format.fprintf ppf "@.resilience under %a:@." Machine.Fault.pp faults;
+  Format.fprintf ppf "  %-8s %12s %12s %8s %12s %12s %8s@." "model" "optimized"
+    "baseline" "gain" "opt+fault" "base+fault" "gain+f";
+  List.iter
+    (fun model ->
+      let price ?faults plan =
+        (Resopt.Cost.of_plan ?faults model plan).Resopt.Cost.total
+      in
+      let o = price r.Resopt.Pipeline.plan
+      and b = price base.Resopt.Feautrier.plan
+      and fo = price ~faults r.Resopt.Pipeline.plan
+      and fb = price ~faults base.Resopt.Feautrier.plan in
+      let gain num den = if den > 0.0 then num /. den else Float.infinity in
+      Format.fprintf ppf "  %-8s %12.1f %12.1f %7.2fx %12.1f %12.1f %7.2fx@."
+        model.Machine.Models.name o b (gain b o) fo fb (gain fb fo))
+    (models ())
+
+(* the placement the mapping layer picks for the plan's residual
+   traffic, per 2-D model: hop-bytes before/after plus the plan price
+   before/after (the sweep's gain_map column, one workload) *)
+let mapping_block ppf (r : Resopt.Pipeline.result) spec =
+  Format.fprintf ppf "@.process mapping (--map %s):@."
+    (Mapping.kind_to_string spec.Mapping.kind);
+  Format.fprintf ppf "  %-8s %12s %12s %8s %12s %12s %8s@." "model" "hop-bytes"
+    "mapped" "gain" "cost" "cost+map" "gain_map";
+  List.iter
+    (fun model ->
+      match Resopt.Cost.sim_vgrid model with
+      | None ->
+        Format.fprintf ppf "  %-8s %12s@." model.Machine.Models.name
+          "(no 2-D grid)"
+      | Some vgrid ->
+        let topo = model.Machine.Models.topo in
+        let layout = Distrib.Layout.all_cyclic 2 in
+        let place v = Distrib.Layout.place layout ~vgrid ~topo v in
+        let vol =
+          Resopt.Residual.volume_graph ~vgrid ~bytes:64 ~place
+            (Resopt.Residual.flows_of_plan r.Resopt.Pipeline.plan)
+        in
+        let n = Machine.Topology.size topo in
+        let perm = Mapping.compute spec topo vol in
+        let hb_id = Mapping.hop_bytes topo vol (Mapping.identity n) in
+        let hb = Mapping.hop_bytes topo vol perm in
+        let cost =
+          (Resopt.Cost.of_plan model r.Resopt.Pipeline.plan).Resopt.Cost.total
+        in
+        let mapped =
+          (Resopt.Cost.of_plan ~mapping:spec model r.Resopt.Pipeline.plan)
+            .Resopt.Cost.total
+        in
+        let gain num den = if den > 0.0 then num /. den else 1.0 in
+        Format.fprintf ppf "  %-8s %12d %12d %7.2fx %12.1f %12.1f %7.2fx@."
+          model.Machine.Models.name hb_id hb
+          (gain (float_of_int hb_id) (float_of_int hb))
+          cost mapped (gain cost mapped))
+    (models ())
+
+let render ?faults ?mapping ~m (w : Resopt.Workloads.t) =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  let r =
+    Resopt.Pipeline.run ~m ~schedule:w.Resopt.Workloads.schedule
+      w.Resopt.Workloads.nest
+  in
+  Format.fprintf ppf "%a@." Resopt.Pipeline.pp r;
+  Option.iter (mapping_block ppf r) mapping;
+  Option.iter (resilience_block ppf w m r) faults;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let of_request (req : Wire.request) =
+  let ( let* ) = Result.bind in
+  let* w =
+    match Resopt.Workloads.find req.Wire.workload with
+    | w -> Ok w
+    | exception Not_found -> Error ("unknown workload " ^ req.Wire.workload)
+  in
+  let* faults =
+    match req.Wire.faults with
+    | None -> Ok None
+    | Some s -> (
+      match Machine.Fault.parse s with
+      | Ok specs -> Ok (Some (Machine.Fault.make ~seed:req.Wire.fseed specs))
+      | Error e -> Error ("bad fault spec: " ^ e))
+  in
+  let* mapping =
+    match req.Wire.map with
+    | None | Some "none" -> Ok None
+    | Some k -> (
+      match Mapping.kind_of_string k with
+      | Some kind -> Ok (Some (Mapping.spec ~seed:req.Wire.mseed kind))
+      | None -> Error ("bad mapping kind " ^ k))
+  in
+  match render ?faults ?mapping ~m:req.Wire.m w with
+  | s -> Ok s
+  | exception e -> Error ("solve failed: " ^ Printexc.to_string e)

@@ -1,0 +1,26 @@
+(** The service's answer for a [run] request — {e the same bytes} the
+    offline [resopt-cli run] command prints.
+
+    This module is the byte-identity contract of the service: the CLI's
+    [run] command (without [--baseline]) prints exactly {!render}, and
+    the server returns exactly {!render}, so a client can verify a
+    served answer by diffing it against a local CLI invocation.  The
+    rendering goes through a buffer formatter with the default margin —
+    the same one [Format.printf] uses — so the two paths cannot
+    drift. *)
+
+val render :
+  ?faults:Machine.Fault.t ->
+  ?mapping:Mapping.spec ->
+  m:int ->
+  Resopt.Workloads.t ->
+  string
+(** Optimize the workload on an [m]-dimensional grid and render the
+    mapping report, followed by the process-mapping block when
+    [mapping] is given and the resilience block when [faults] is. *)
+
+val of_request : Wire.request -> (string, string) result
+(** {!render} driven by a wire request: looks up the workload and
+    parses the fault / mapping fields, [Error] (a one-line message) on
+    an unknown workload, bad fault spec or bad mapping kind.  Only
+    [Run] requests reach this; never raises. *)

@@ -1,0 +1,42 @@
+(** Client side of the [resopt serve] protocol.
+
+    Two layers.  A {!t} is one open connection with blocking
+    request/response calls — what a long-lived consumer holds.  {!call}
+    is the robust one-shot: connect, ask, close, {e retrying} refused
+    connections, [shed] and [timeout] responses under the capped
+    jittered exponential backoff of {!Machine.Backoff} — the same math
+    the event simulator's retransmission protocol uses, and
+    deterministic per seed, so a load generator's retry pattern
+    reproduces exactly. *)
+
+type t
+(** An open connection. *)
+
+val connect : Wire.addr -> (t, string) result
+(** One attempt; [Error] describes the refusal.  Never raises. *)
+
+val close : t -> unit
+
+val rpc : t -> string -> (string, string) result
+(** One raw framed round-trip: send the payload, read one response
+    payload.  [Error] on a closed or garbled stream. *)
+
+val request : t -> Wire.request -> (Wire.response, string) result
+(** {!rpc} with encoding on the way out, decoding on the way back. *)
+
+val default_backoff : seed:int -> Machine.Backoff.t
+(** Base 50 ms, cap 1000 ms, jitter 0.5. *)
+
+val call :
+  ?attempts:int ->
+  ?backoff:Machine.Backoff.t ->
+  Wire.addr ->
+  Wire.request ->
+  (Wire.response, string) result
+(** One request with a retry loop ([attempts] tries total, default 5):
+    a failed connect, a dropped connection, a [shed] or a [timeout]
+    response sleeps [Machine.Backoff.delay ~attempt] milliseconds and
+    tries again — a timed-out solve keeps running server-side and
+    warms the cache, so the retry usually answers instantly.  The last
+    attempt's outcome is returned as-is, so callers still see a
+    structured [Shed] / [Timeout] when the server never yielded. *)

@@ -1,0 +1,488 @@
+(* The serving loop.  Threading rules, which every edit must keep:
+
+   - Only the solver thread touches Obs, Cache, Par or the response
+     memo.  Obs and Cache keep their state in Domain.DLS, which all
+     systhreads of the domain SHARE — two threads mutating those
+     hashtables would corrupt them.  One mutator, no locks needed, and
+     the existing zero-cost subsystems run unmodified.
+   - Connection threads only use: the server mutex (queue, counters,
+     waiter lists), their own socket, their own waiter pipe, and pure
+     code.
+   - Signal handlers only flip an atomic; every blocking wait is a
+     select with a short timeout, so the flag is noticed promptly. *)
+
+type config = {
+  addr : Wire.addr;
+  jobs : int;
+  max_queue : int;
+  deadline_ms : int;
+  snapshot_every : int;
+  cache_file : string option;
+}
+
+let default_config addr =
+  { addr; jobs = 1; max_queue = 64; deadline_ms = 0; snapshot_every = 8;
+    cache_file = None }
+
+(* One queued solve; [waiters] are the write ends of the pipes the
+   connection threads select on.  Protected by the server mutex. *)
+type entry = {
+  key : string;
+  req : Wire.request;
+  t_enq : float;
+  mutable waiters : Unix.file_descr list;
+  mutable result : Wire.response option;
+}
+
+type counters = {
+  mutable c_requests : int;
+  mutable c_ok : int;
+  mutable c_errors : int;
+  mutable c_shed : int;
+  mutable c_timeout : int;
+  mutable c_coalesced : int;
+}
+
+type t = {
+  cfg : config;
+  bound : Wire.addr;
+  lfd : Unix.file_descr;
+  stop_flag : bool Atomic.t;
+  mu : Mutex.t;
+  queue : entry Queue.t;
+  inflight : (string, entry) Hashtbl.t;
+  ctrs : counters;
+  mutable stats_serial : int;
+  wake_r : Unix.file_descr;  (* solver wakeup pipe *)
+  wake_w : Unix.file_descr;
+  mutable mirrored : int * int * int * int * int * int;
+      (* counter values already folded into Obs (solver thread only) *)
+  mutable conns : Thread.t list;
+  mutable solver : Thread.t option;
+  mutable acceptor : Thread.t option;
+}
+
+let address t = t.bound
+let stopping t = Atomic.get t.stop_flag
+
+(* Answers persist across restarts: this is the table the snapshot
+   loop makes kill -9-proof.  Lazy so binaries that link the library
+   but never serve register nothing. *)
+let response_memo =
+  lazy
+    (Cache.Memo.create ~capacity:512 ~name:"serve.responses"
+       ~schema:"resopt-serve/1" ())
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let ignore_unix f = try f () with Unix.Unix_error _ -> ()
+
+(* select that treats EINTR (a signal landed) as "nothing ready" *)
+let select_r fds timeout =
+  match Unix.select fds [] [] timeout with
+  | r, _, _ -> r
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+
+let wake t = ignore_unix (fun () -> ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1))
+
+(* ------------------------------------------------------------------ *)
+(* Admission (connection threads)                                      *)
+(* ------------------------------------------------------------------ *)
+
+type admitted = Entry of entry | Refused of Wire.response
+
+let admit t (req : Wire.request) =
+  let key =
+    match req.op with
+    | Wire.Stats ->
+      (* stats are answered by the solver too (it owns the metrics),
+         but each request is its own entry — never coalesced, never
+         memoized *)
+      locked t (fun () ->
+          t.stats_serial <- t.stats_serial + 1;
+          Printf.sprintf "#stats/%d" t.stats_serial)
+    | _ -> Wire.solve_key req
+  in
+  locked t @@ fun () ->
+  t.ctrs.c_requests <- t.ctrs.c_requests + 1;
+  if Atomic.get t.stop_flag then begin
+    t.ctrs.c_shed <- t.ctrs.c_shed + 1;
+    Refused (Wire.Shed "shutting down")
+  end
+  else
+    match Hashtbl.find_opt t.inflight key with
+    | Some e ->
+      t.ctrs.c_coalesced <- t.ctrs.c_coalesced + 1;
+      Entry e
+    | None ->
+      if Queue.length t.queue >= t.cfg.max_queue then begin
+        t.ctrs.c_shed <- t.ctrs.c_shed + 1;
+        Refused
+          (Wire.Shed
+             (Printf.sprintf "queue full (%d pending)" (Queue.length t.queue)))
+      end
+      else begin
+        let e =
+          { key; req; t_enq = Unix.gettimeofday (); waiters = []; result = None }
+        in
+        Hashtbl.replace t.inflight key e;
+        Queue.add e t.queue;
+        wake t;
+        Entry e
+      end
+
+(* Wait for [e] to complete, bounded by the request's deadline.  The
+   waiter registers a pipe; the solver writes one byte per waiter at
+   completion.  On expiry the waiter unregisters and gets a structured
+   Timeout — the solve itself continues and warms the memo. *)
+let await t (e : entry) deadline_ms =
+  let r, w = Unix.pipe ~cloexec:true () in
+  (* register-or-observe under one lock: [finish] sets [result] and
+     notifies waiters under the same mutex, so either we see the result
+     here (solve already done — a warm memo answers faster than this
+     thread gets here) or our pipe is registered before it runs.
+     Registering first and checking after the select would lose the
+     wakeup and block forever on requests without a deadline. *)
+  let done_already =
+    locked t (fun () ->
+        match e.result with
+        | Some _ -> true
+        | None ->
+          e.waiters <- w :: e.waiters;
+          false)
+  in
+  let timeout =
+    match deadline_ms with
+    | Some d -> float_of_int d /. 1000.0
+    | None -> -1.0 (* infinite *)
+  in
+  if not done_already then ignore (select_r [ r ] timeout);
+  let resp =
+    locked t @@ fun () ->
+    match e.result with
+    | Some resp -> resp
+    | None ->
+      e.waiters <- List.filter (fun fd -> fd != w) e.waiters;
+      t.ctrs.c_timeout <- t.ctrs.c_timeout + 1;
+      Wire.Timeout
+        (Printf.sprintf "deadline %dms expired"
+           (Option.value deadline_ms ~default:0))
+  in
+  ignore_unix (fun () -> Unix.close r);
+  ignore_unix (fun () -> Unix.close w);
+  resp
+
+(* ------------------------------------------------------------------ *)
+(* Connection threads                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let handle_request t payload =
+  match Wire.decode_request payload with
+  | Error msg -> Wire.Failed msg
+  | Ok req -> (
+    match req.Wire.op with
+    | Wire.Ping -> Wire.Answer "pong"
+    | Wire.Run | Wire.Stats -> (
+      match admit t req with
+      | Refused resp -> resp
+      | Entry e ->
+        let deadline =
+          match req.Wire.deadline_ms with
+          | Some d -> Some d
+          | None -> if t.cfg.deadline_ms > 0 then Some t.cfg.deadline_ms else None
+        in
+        await t e deadline))
+
+let conn_loop t fd =
+  let rec loop () =
+    if Atomic.get t.stop_flag then ()
+    else if select_r [ fd ] 0.25 = [] then loop ()
+    else
+      match Frame.read_fd fd with
+      | Error `Eof -> ()
+      | Error (`Error e) ->
+        (* garbage on the wire: answer with the structured error and
+           drop the connection — framing cannot resync after it *)
+        ignore_unix (fun () ->
+            Frame.write_fd fd
+              (Wire.encode_response (Wire.Failed (Frame.error_to_string e))))
+      | Ok payload ->
+        let resp = handle_request t payload in
+        let ok =
+          try
+            Frame.write_fd fd (Wire.encode_response resp);
+            true
+          with Unix.Unix_error _ -> false
+        in
+        if ok then loop ()
+  in
+  (try loop () with _ -> ());
+  ignore_unix (fun () -> Unix.close fd);
+  let me = Thread.id (Thread.self ()) in
+  locked t (fun () ->
+      t.conns <- List.filter (fun th -> Thread.id th <> me) t.conns)
+
+(* ------------------------------------------------------------------ *)
+(* Solver thread                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let read_counters t =
+  locked t (fun () ->
+      let c = t.ctrs in
+      (c.c_requests, c.c_ok, c.c_errors, c.c_shed, c.c_timeout, c.c_coalesced))
+
+(* Mirror the mutex-guarded counters into Obs (additively, via deltas)
+   so --stats-style tooling sees serve.* next to cache.*.  Solver
+   thread only. *)
+let mirror_counters t =
+  let ((r, o, e, s, ti, co) as now) = read_counters t in
+  let (r', o', e', s', ti', co') = t.mirrored in
+  Obs.incr ~by:(r - r') "serve.requests";
+  Obs.incr ~by:(o - o') "serve.ok";
+  Obs.incr ~by:(e - e') "serve.errors";
+  Obs.incr ~by:(s - s') "serve.shed";
+  Obs.incr ~by:(ti - ti') "serve.timeout";
+  Obs.incr ~by:(co - co') "serve.coalesced";
+  t.mirrored <- now
+
+let render_stats t =
+  let requests, ok, errors, shed, timeout, coalesced = read_counters t in
+  let cs = Cache.stats () in
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "requests=%d" requests;
+  line "ok=%d" ok;
+  line "errors=%d" errors;
+  line "shed=%d" shed;
+  line "timeout=%d" timeout;
+  line "coalesced=%d" coalesced;
+  line "queue_depth=%d" (locked t (fun () -> Queue.length t.queue));
+  (match Obs.histogram_percentiles "serve.latency_ms" with
+  | Some (p50, p95, p99) ->
+    line "latency_ms_p50=%.3f" p50;
+    line "latency_ms_p95=%.3f" p95;
+    line "latency_ms_p99=%.3f" p99
+  | None -> ());
+  line "cache_hits=%d" cs.Cache.hits;
+  line "cache_misses=%d" cs.Cache.misses;
+  line "cache_entries=%d" cs.Cache.entries;
+  line "cache_load_corrupt=%d" (Obs.counter "cache.load_corrupt");
+  Buffer.contents b
+
+let solve_batch t (batch : entry list) =
+  let memo = Lazy.force response_memo in
+  let runs, stats_es =
+    List.partition (fun e -> e.req.Wire.op = Wire.Run) batch
+  in
+  (* memo hits answer on the solver thread; distinct misses fan out
+     over the pool (Par merges each worker's Obs/Cache capture back
+     here at join, keeping the single-mutator rule intact) *)
+  let hits, misses = List.partition (fun e -> Cache.Memo.mem memo e.key) runs in
+  let hit_results =
+    List.map
+      (fun e ->
+        (e, Ok (Cache.Memo.find_or_compute memo ~key:e.key (fun () -> ""))))
+      hits
+  in
+  let miss_results =
+    let compute e = Answer.of_request e.req in
+    let computed =
+      match misses with
+      | [] | [ _ ] -> List.map compute misses
+      | _ when t.cfg.jobs > 1 ->
+        Par.map (Par.Shared.get ~jobs:t.cfg.jobs) compute misses
+      | _ -> List.map compute misses
+    in
+    List.map2
+      (fun e res ->
+        (match res with
+        | Ok body ->
+          ignore (Cache.Memo.find_or_compute memo ~key:e.key (fun () -> body) : string)
+        | Error _ -> ());
+        (e, res))
+      misses computed
+  in
+  let stats_results =
+    List.map (fun e -> (e, Ok (render_stats t))) stats_es
+  in
+  let finish (e, res) =
+    let resp =
+      match res with Ok body -> Wire.Answer body | Error msg -> Wire.Failed msg
+    in
+    Obs.observe "serve.latency_ms" ((Unix.gettimeofday () -. e.t_enq) *. 1000.0);
+    locked t @@ fun () ->
+    (match res with
+    | Ok _ -> t.ctrs.c_ok <- t.ctrs.c_ok + 1
+    | Error _ -> t.ctrs.c_errors <- t.ctrs.c_errors + 1);
+    e.result <- Some resp;
+    Hashtbl.remove t.inflight e.key;
+    List.iter
+      (fun fd ->
+        ignore_unix (fun () -> ignore (Unix.write fd (Bytes.make 1 '.') 0 1)))
+      e.waiters
+  in
+  List.iter finish (hit_results @ miss_results @ stats_results)
+
+let snapshot t =
+  match t.cfg.cache_file with
+  | None -> ()
+  | Some file -> (
+    try Cache.save file
+    with Sys_error _ -> () (* a failed snapshot only loses warmth *))
+
+let solver_loop t =
+  let batches = ref 0 in
+  let drain_wake () =
+    if select_r [ t.wake_r ] 0.0 <> [] then
+      ignore_unix (fun () ->
+          ignore (Unix.read t.wake_r (Bytes.create 64) 0 64))
+  in
+  let take_batch () =
+    locked t (fun () ->
+        let l = List.of_seq (Queue.to_seq t.queue) in
+        Queue.clear t.queue;
+        l)
+  in
+  let rec loop () =
+    Obs.set_gauge "serve.queue_depth"
+      (float_of_int (locked t (fun () -> Queue.length t.queue)));
+    let batch = take_batch () in
+    if batch = [] then begin
+      mirror_counters t;
+      if Atomic.get t.stop_flag then begin
+        (* final re-drain: an entry may have been admitted between our
+           drain and the flag flip.  Admission refuses once the flag is
+           up (it reads the atomic under the same mutex the queue
+           uses), so a queue found empty now stays empty. *)
+        match take_batch () with
+        | [] -> ()
+        | last ->
+          solve_batch t last;
+          mirror_counters t
+      end
+      else begin
+        ignore (select_r [ t.wake_r ] 0.25);
+        drain_wake ();
+        loop ()
+      end
+    end
+    else begin
+      drain_wake ();
+      solve_batch t batch;
+      mirror_counters t;
+      incr batches;
+      if t.cfg.snapshot_every > 0 && !batches mod t.cfg.snapshot_every = 0 then
+        snapshot t;
+      loop ()
+    end
+  in
+  loop ();
+  (* final snapshot: stop-and-restart must answer warm *)
+  snapshot t
+
+(* ------------------------------------------------------------------ *)
+(* Accept thread, lifecycle                                            *)
+(* ------------------------------------------------------------------ *)
+
+let accept_loop t =
+  let rec loop () =
+    if Atomic.get t.stop_flag then ()
+    else begin
+      (if select_r [ t.lfd ] 0.25 <> [] then
+         match Unix.accept ~cloexec:true t.lfd with
+         | fd, _ ->
+           let th = Thread.create (fun () -> conn_loop t fd) () in
+           locked t (fun () -> t.conns <- th :: t.conns)
+         | exception Unix.Unix_error _ -> ());
+      loop ()
+    end
+  in
+  loop ();
+  ignore_unix (fun () -> Unix.close t.lfd);
+  match t.cfg.addr with
+  | Wire.Unix_sock path -> (try Sys.remove path with Sys_error _ -> ())
+  | Wire.Tcp _ -> ()
+
+let bind_listen addr =
+  match addr with
+  | Wire.Unix_sock path ->
+    (try Sys.remove path with Sys_error _ -> ());
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    (fd, addr)
+  | Wire.Tcp (host, port) ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    let ip = Unix.inet_addr_of_string host in
+    Unix.bind fd (Unix.ADDR_INET (ip, port));
+    Unix.listen fd 64;
+    let bound_port =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    (fd, Wire.Tcp (host, bound_port))
+
+let start cfg =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  Obs.set_clock Unix.gettimeofday;
+  Obs.enable ();
+  Cache.enable ();
+  ignore (Lazy.force response_memo);
+  (* load before any thread exists: start is still single-threaded,
+     so touching the cache here keeps the single-mutator rule *)
+  (match cfg.cache_file with
+  | Some file -> ignore (Cache.load file : bool)
+  | None -> ());
+  let lfd, bound = bind_listen cfg.addr in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  let t =
+    {
+      cfg;
+      bound;
+      lfd;
+      stop_flag = Atomic.make false;
+      mu = Mutex.create ();
+      queue = Queue.create ();
+      inflight = Hashtbl.create 16;
+      ctrs =
+        { c_requests = 0; c_ok = 0; c_errors = 0; c_shed = 0; c_timeout = 0;
+          c_coalesced = 0 };
+      stats_serial = 0;
+      wake_r;
+      wake_w;
+      mirrored = (0, 0, 0, 0, 0, 0);
+      conns = [];
+      solver = None;
+      acceptor = None;
+    }
+  in
+  t.solver <- Some (Thread.create (fun () -> solver_loop t) ());
+  t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  wake t
+
+let install_signal_handlers t =
+  let h = Sys.Signal_handle (fun _ -> Atomic.set t.stop_flag true) in
+  Sys.set_signal Sys.sigterm h;
+  Sys.set_signal Sys.sigint h
+
+let wait t =
+  Option.iter Thread.join t.acceptor;
+  let rec drain_conns () =
+    match locked t (fun () -> t.conns) with
+    | [] -> ()
+    | th :: _ ->
+      Thread.join th;
+      drain_conns ()
+  in
+  drain_conns ();
+  Option.iter Thread.join t.solver;
+  ignore_unix (fun () -> Unix.close t.wake_r);
+  ignore_unix (fun () -> Unix.close t.wake_w)

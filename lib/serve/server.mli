@@ -1,0 +1,74 @@
+(** The [resopt serve] daemon: the optimizer behind a socket.
+
+    One process, three kinds of threads.  An {e accept} thread takes
+    connections; a {e connection} thread per client reads framed
+    {!Wire} requests and writes framed responses; a single {e solver}
+    thread owns every piece of per-domain ambient state ({!Obs}
+    metrics, {!Cache} shards, the {!Par} pool) and is the only thread
+    that touches it — connection threads communicate with it through a
+    mutex-guarded queue and per-request wakeup pipes, nothing else.
+    That single-mutator rule is what makes it safe to run the existing
+    (deliberately lock-free, domain-local) observability and caching
+    layers under systhreads.
+
+    Robustness contract, each piece visible to clients as a structured
+    response rather than a hung or dropped connection:
+
+    - {e Admission control}: at most [max_queue] solves wait at once;
+      beyond that, requests get an immediate [shed] response.
+    - {e Deadlines}: a request carrying [deadline_ms] (or the server
+      default) gets a [timeout] response when it expires — the solve
+      itself continues and warms the cache for the retry.
+    - {e Coalescing}: concurrent requests for the same
+      {!Wire.solve_key} share one computation; all waiters get the
+      same bytes.
+    - {e Graceful drain}: {!stop} (or SIGTERM via
+      {!install_signal_handlers}) stops accepting, sheds new work,
+      finishes the queue, snapshots the cache and exits.
+    - {e Crash-safe warmth}: with [cache_file] set, the solver
+      snapshots the memo tables every [snapshot_every] batches through
+      {!Cache.save}'s atomic rename, so even [kill -9] loses at most
+      the last interval and a restart answers warm.
+
+    Answers are {!Answer.render} bytes — byte-identical to the offline
+    CLI, which is how the CI soak gate checks the whole tower. *)
+
+type config = {
+  addr : Wire.addr;
+  jobs : int;  (** solve-pool width; > 1 fans batches over {!Par} *)
+  max_queue : int;  (** admission bound on waiting solves *)
+  deadline_ms : int;  (** default deadline, [0] = none *)
+  snapshot_every : int;
+      (** snapshot the cache every N solved batches; [0] = only at
+          shutdown *)
+  cache_file : string option;
+}
+
+val default_config : Wire.addr -> config
+(** [jobs = 1], [max_queue = 64], [deadline_ms = 0] (no deadline),
+    [snapshot_every = 8], [cache_file = None]. *)
+
+type t
+
+val start : config -> t
+(** Bind, load the cache file if any (a missing or corrupt one starts
+    cold, counted in [cache.load_corrupt]), spawn the threads.  Raises
+    [Unix.Unix_error] when the address cannot be bound. *)
+
+val address : t -> Wire.addr
+(** The bound address — with [Tcp (_, 0)] this has the real port. *)
+
+val stop : t -> unit
+(** Begin graceful drain.  Idempotent, non-blocking; {!wait} for
+    completion. *)
+
+val stopping : t -> bool
+
+val install_signal_handlers : t -> unit
+(** SIGTERM and SIGINT trigger {!stop} (the handler only flips an
+    atomic flag; the polling loops notice).  SIGPIPE is already
+    ignored by {!start}. *)
+
+val wait : t -> unit
+(** Block until the server has fully drained and every thread has
+    exited. *)

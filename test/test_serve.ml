@@ -1,0 +1,513 @@
+(* The serve tower, bottom-up: framing (property-tested — malformed
+   bytes must come back as structured errors, never exceptions), the
+   wire encoding, the shared backoff math, the crash-safe cache
+   persistence, and finally an in-process server exercised end-to-end
+   over real sockets: ok path byte-identical to the offline renderer,
+   deadline -> timeout, full queue -> shed, coalesced concurrent
+   clients, graceful drain, and a snapshot/restart answering warm. *)
+
+open Serve
+
+(* ------------------------------------------------------------------ *)
+(* Frame                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let prop_frame_roundtrip =
+  QCheck.Test.make ~name:"decode (encode s ^ rest) = Ok (s, rest)" ~count:200
+    QCheck.(pair string string)
+    (fun (s, rest) ->
+      match Frame.decode (Frame.encode s ^ rest) with
+      | Ok (s', rest') -> s' = s && rest' = rest
+      | Error _ -> false)
+
+let prop_frame_garbage_never_raises =
+  QCheck.Test.make ~name:"decode never raises on garbage" ~count:500
+    QCheck.string (fun junk ->
+      match Frame.decode junk with Ok _ | Error _ -> true)
+
+let test_frame_truncated_header () =
+  match Frame.decode "ab" with
+  | Error (Frame.Truncated { wanted = 4; got = 2 }) -> ()
+  | _ -> Alcotest.fail "expected Truncated {wanted=4; got=2}"
+
+let test_frame_truncated_payload () =
+  let framed = Frame.encode "hello world" in
+  let cut = String.sub framed 0 (String.length framed - 3) in
+  match Frame.decode cut with
+  | Error (Frame.Truncated { wanted; got }) ->
+    Alcotest.(check int) "wanted" (String.length framed) wanted;
+    Alcotest.(check int) "got" (String.length cut) got
+  | _ -> Alcotest.fail "expected Truncated"
+
+let test_frame_oversized () =
+  (* a length header of 0xFFFFFFFF — what random garbage usually
+     claims — must be refused as Oversized, not attempted *)
+  match Frame.decode "\xff\xff\xff\xffjunk" with
+  | Error (Frame.Oversized { length; limit }) ->
+    Alcotest.(check bool) "length > limit" true (length > limit);
+    Alcotest.(check int) "limit" Frame.max_payload limit
+  | _ -> Alcotest.fail "expected Oversized"
+
+let test_frame_encode_rejects_oversized () =
+  Alcotest.check_raises "encode beyond max_payload"
+    (Invalid_argument
+       (Printf.sprintf "Frame.encode: payload %d > max %d"
+          (Frame.max_payload + 1) Frame.max_payload))
+    (fun () -> ignore (Frame.encode (String.make (Frame.max_payload + 1) 'x')))
+
+(* ------------------------------------------------------------------ *)
+(* Wire                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sample_requests =
+  [
+    Wire.ping;
+    Wire.stats;
+    Wire.run "example1";
+    Wire.run ~m:3 "matmul";
+    Wire.run ~m:1 ~faults:"flaky:0.05" ~fseed:42 "example1";
+    Wire.run ~map:"greedy" ~mseed:7 "gauss";
+    Wire.run ~m:2 ~faults:"flaky:0.1;down:3-4" ~fseed:1 ~map:"search" ~mseed:3
+      ~deadline_ms:250 "example5";
+    Wire.run ~deadline_ms:0 "lu";
+  ]
+
+let test_wire_request_roundtrip () =
+  List.iter
+    (fun r ->
+      match Wire.decode_request (Wire.encode_request r) with
+      | Ok r' ->
+        Alcotest.(check bool) "request round-trips" true (r = r')
+      | Error e -> Alcotest.fail ("decode failed: " ^ e))
+    sample_requests
+
+let test_wire_solve_key_ignores_deadline () =
+  let a = Wire.run ~m:2 ~deadline_ms:5 "example1" in
+  let b = Wire.run ~m:2 ~deadline_ms:5000 "example1" in
+  let c = Wire.run ~m:2 "example1" in
+  Alcotest.(check string) "same key across deadlines" (Wire.solve_key a)
+    (Wire.solve_key b);
+  Alcotest.(check string) "same key without deadline" (Wire.solve_key a)
+    (Wire.solve_key c);
+  Alcotest.(check bool) "different m, different key" true
+    (Wire.solve_key a <> Wire.solve_key (Wire.run ~m:3 "example1"))
+
+let test_wire_request_rejects () =
+  let bad s =
+    match Wire.decode_request s with
+    | Ok _ -> Alcotest.fail ("accepted: " ^ s)
+    | Error _ -> ()
+  in
+  bad "";
+  bad "not a request";
+  bad "resopt-serve/2\nop=run\nworkload=x\n";
+  bad "resopt-serve/1\nop=launch\n";
+  bad "resopt-serve/1\nop=run\nm=2\n" (* run without workload *);
+  bad "resopt-serve/1\nop=run\nworkload=x\nm=wat\n";
+  bad "resopt-serve/1\nop=run\nworkload=x\nfrobnicate=1\n"
+
+let test_wire_response_roundtrip () =
+  List.iter
+    (fun r ->
+      match Wire.decode_response (Wire.encode_response r) with
+      | Ok r' -> Alcotest.(check bool) "response round-trips" true (r = r')
+      | Error e -> Alcotest.fail ("decode failed: " ^ e))
+    [
+      Wire.Answer "multi\nline\nbody\n";
+      Wire.Answer "";
+      Wire.Shed "queue full (64 pending)";
+      Wire.Timeout "deadline 250ms expired";
+      Wire.Failed "unknown workload nope";
+    ];
+  match Wire.decode_response "weird\nbody" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted unknown status"
+
+(* ------------------------------------------------------------------ *)
+(* Backoff (shared with Fault's retransmission protocol)               *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_matches_fault () =
+  (* the client retry delays and the simulator's retransmission waits
+     are the same function; pin them to each other *)
+  let f = Machine.Fault.make ~ack_timeout:100 ~backoff_cap:500 [] in
+  for attempt = 1 to 20 do
+    Alcotest.(check int)
+      (Printf.sprintf "attempt %d" attempt)
+      (Machine.Fault.backoff f ~attempt)
+      (Machine.Backoff.exp_delay ~base:100 ~cap:500 ~attempt)
+  done
+
+let test_backoff_jitter_bounds () =
+  let b = Machine.Backoff.make ~jitter:0.5 ~seed:9 ~base:50 ~cap:1000 () in
+  for attempt = 1 to 12 do
+    let full = Machine.Backoff.exp_delay ~base:50 ~cap:1000 ~attempt in
+    let d = Machine.Backoff.delay b ~attempt in
+    Alcotest.(check bool)
+      (Printf.sprintf "attempt %d in [half, full]" attempt)
+      true
+      (d >= full / 2 && d <= full);
+    Alcotest.(check int) "deterministic" d (Machine.Backoff.delay b ~attempt)
+  done
+
+let test_backoff_no_jitter_is_exp () =
+  let b = Machine.Backoff.make ~base:128 ~cap:4096 () in
+  List.iter
+    (fun (attempt, want) ->
+      Alcotest.(check int)
+        (Printf.sprintf "attempt %d" attempt)
+        want
+        (Machine.Backoff.delay b ~attempt))
+    [ (1, 128); (2, 256); (3, 512); (6, 4096); (50, 4096) ]
+
+let test_backoff_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "base 0" true
+    (bad (fun () -> Machine.Backoff.make ~base:0 ~cap:10 ()));
+  Alcotest.(check bool) "cap < base" true
+    (bad (fun () -> Machine.Backoff.make ~base:10 ~cap:5 ()));
+  Alcotest.(check bool) "jitter > 1" true
+    (bad (fun () -> Machine.Backoff.make ~jitter:1.5 ~base:1 ~cap:2 ()))
+
+let prop_hash_unit_in_range =
+  QCheck.Test.make ~name:"hash_unit in [0, 1)" ~count:500
+    QCheck.(pair small_int (small_list small_int))
+    (fun (seed, ks) ->
+      let u = Machine.Backoff.hash_unit ~seed ks in
+      u >= 0.0 && u < 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Cache: atomic save, visible corrupt loads                           *)
+(* ------------------------------------------------------------------ *)
+
+let save_table : string Cache.Memo.t =
+  Cache.Memo.create ~name:"test_serve.save" ~schema:"v1" ()
+
+let test_cache_save_atomic () =
+  let file = Filename.temp_file "serve_cache" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      Cache.scoped ~enable:true (fun () ->
+          ignore (Cache.Memo.find_or_compute save_table ~key:"k" (fun () -> "v"));
+          Cache.save file;
+          (* the temp staging file must be gone: only the complete,
+             renamed-into-place file remains *)
+          Alcotest.(check bool) "no .tmp left" false
+            (Sys.file_exists (file ^ ".tmp"));
+          Alcotest.(check bool) "file exists" true (Sys.file_exists file);
+          Alcotest.(check bool) "loads back" true (Cache.load file)))
+
+let test_cache_corrupt_load_counted () =
+  let file = Filename.temp_file "serve_corrupt" ".bin" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove file with Sys_error _ -> ());
+      Obs.reset ();
+      Obs.disable ())
+    (fun () ->
+      Obs.enable ();
+      Obs.reset ();
+      let oc = open_out_bin file in
+      output_string oc "RESOPTCACHE1\ndeadbeefdeadbeef\ngarbage payload";
+      close_out oc;
+      Alcotest.(check bool) "corrupt load returns false" false (Cache.load file);
+      Alcotest.(check int) "corrupt load counted" 1
+        (Obs.counter "cache.load_corrupt");
+      (* a merely missing file is a normal cold start, not corruption *)
+      Alcotest.(check bool) "missing load returns false" false
+        (Cache.load (file ^ ".nope"));
+      Alcotest.(check int) "missing load not counted" 1
+        (Obs.counter "cache.load_corrupt"))
+
+(* ------------------------------------------------------------------ *)
+(* Server end-to-end                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let local_server ?(jobs = 1) ?(max_queue = 64) ?(deadline_ms = 0) ?cache_file ()
+    =
+  let cfg =
+    {
+      (Server.default_config (Wire.Tcp ("127.0.0.1", 0))) with
+      Server.jobs;
+      max_queue;
+      deadline_ms;
+      snapshot_every = 1;
+      cache_file;
+    }
+  in
+  Server.start cfg
+
+let with_server ?jobs ?max_queue ?deadline_ms ?cache_file f =
+  let t = local_server ?jobs ?max_queue ?deadline_ms ?cache_file () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      Server.wait t)
+    (fun () -> f t)
+
+let must_connect t =
+  match Client.connect (Server.address t) with
+  | Ok c -> c
+  | Error e -> Alcotest.fail ("connect: " ^ e)
+
+let must_request c req =
+  match Client.request c req with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("request: " ^ e)
+
+let test_server_ok_bytes () =
+  (* oracle computed before the server exists: afterwards the solver
+     thread owns the ambient Cache/Obs state *)
+  let req = Wire.run ~m:2 ~faults:"flaky:0.05" ~fseed:42 "example1" in
+  let expected =
+    match Answer.of_request req with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  with_server @@ fun t ->
+  let c = must_connect t in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (match must_request c req with
+  | Wire.Answer body ->
+    Alcotest.(check string) "served bytes = offline CLI bytes" expected body
+  | r -> Alcotest.fail ("expected Answer, got " ^ Wire.status r));
+  match must_request c Wire.ping with
+  | Wire.Answer "pong" -> ()
+  | _ -> Alcotest.fail "expected pong"
+
+let test_server_repeat_and_stats () =
+  with_server @@ fun t ->
+  let c = must_connect t in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let req = Wire.run ~m:1 "matmul" in
+  let a = must_request c req in
+  let b = must_request c req in
+  Alcotest.(check bool) "repeat serves identical bytes" true (a = b);
+  match must_request c Wire.stats with
+  | Wire.Answer body ->
+    let has needle =
+      Alcotest.(check bool) ("stats mention " ^ needle) true
+        (let re = Str.regexp_string needle in
+         try ignore (Str.search_forward re body 0); true
+         with Not_found -> false)
+    in
+    has "requests=";
+    has "ok=";
+    has "cache_hits="
+  | r -> Alcotest.fail ("expected stats Answer, got " ^ Wire.status r)
+
+let test_server_deadline_timeout () =
+  (* deadline 0 expires immediately — but if the scheduler runs the
+     solver to completion before this thread even reaches its wait, the
+     server rightly hands over the finished answer instead.  So: fresh
+     solve keys (the memo can never answer instantly), every outcome
+     must be a named Timeout or the correct bytes, and across attempts
+     at least one must actually time out. *)
+  let reqs =
+    List.init 5 (fun i -> Wire.run ~m:3 ~map:"search" ~mseed:i ~deadline_ms:0 "lu")
+  in
+  let expected =
+    List.map
+      (fun r ->
+        match Answer.of_request { r with Wire.deadline_ms = None } with
+        | Ok s -> s
+        | Error e -> Alcotest.fail e)
+      reqs
+  in
+  with_server @@ fun t ->
+  let c = must_connect t in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let timeouts = ref 0 in
+  List.iter2
+    (fun req want ->
+      match must_request c req with
+      | Wire.Timeout msg ->
+        incr timeouts;
+        Alcotest.(check string) "timeout names the deadline"
+          "deadline 0ms expired" msg
+      | Wire.Answer got ->
+        (* the solve outran us — fine, but only with the right bytes *)
+        Alcotest.(check string) "raced answer still correct" want got
+      | r -> Alcotest.fail ("expected Timeout or Answer, got " ^ Wire.status r))
+    reqs expected;
+  Alcotest.(check bool) "at least one attempt timed out" true (!timeouts > 0)
+
+let test_server_sheds_when_full () =
+  with_server ~max_queue:0 @@ fun t ->
+  let c = must_connect t in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  match must_request c (Wire.run "example1") with
+  | Wire.Shed _ -> ()
+  | r -> Alcotest.fail ("expected Shed, got " ^ Wire.status r)
+
+let test_server_malformed_frame () =
+  with_server @@ fun t ->
+  let port =
+    match Server.address t with Wire.Tcp (_, p) -> p | _ -> assert false
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  (* a frame header claiming 4 GiB: the server must answer with a
+     structured error, not die or hang *)
+  let garbage = Bytes.of_string "\xff\xff\xff\xff\x00\x00" in
+  ignore (Unix.write fd garbage 0 (Bytes.length garbage));
+  match Frame.read_fd fd with
+  | Ok payload -> (
+    match Wire.decode_response payload with
+    | Ok (Wire.Failed msg) ->
+      Alcotest.(check bool) "names oversize" true
+        (String.length msg > 0
+        && Str.string_match (Str.regexp ".*oversized.*") msg 0)
+    | _ -> Alcotest.fail "expected a Failed response")
+  | Error _ -> Alcotest.fail "expected a framed error response"
+
+let test_server_unknown_workload () =
+  with_server @@ fun t ->
+  let c = must_connect t in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  match must_request c (Wire.run "no_such_workload") with
+  | Wire.Failed msg ->
+    Alcotest.(check bool) "names the workload" true
+      (Str.string_match (Str.regexp ".*no_such_workload.*") msg 0)
+  | r -> Alcotest.fail ("expected Failed, got " ^ Wire.status r)
+
+let test_server_concurrent_clients () =
+  let reqs =
+    [ Wire.run ~m:1 "example1"; Wire.run ~m:2 "gauss"; Wire.run ~m:1 "example1" ]
+  in
+  let expected =
+    List.map
+      (fun r ->
+        match Answer.of_request r with Ok s -> s | Error e -> Alcotest.fail e)
+      reqs
+  in
+  with_server ~jobs:2 @@ fun t ->
+  let addr = Server.address t in
+  let results = Array.make (List.length reqs) None in
+  let ths =
+    List.mapi
+      (fun i req ->
+        Thread.create
+          (fun () -> results.(i) <- Some (Client.call ~attempts:3 addr req))
+          ())
+      reqs
+  in
+  List.iter Thread.join ths;
+  List.iteri
+    (fun i want ->
+      match results.(i) with
+      | Some (Ok (Wire.Answer got)) ->
+        Alcotest.(check string)
+          (Printf.sprintf "client %d bytes" i)
+          want got
+      | Some (Ok r) -> Alcotest.fail ("client got " ^ Wire.status r)
+      | Some (Error e) -> Alcotest.fail e
+      | None -> Alcotest.fail "client never finished")
+    expected
+
+let test_server_drain_refuses_new_work () =
+  let t = local_server () in
+  let addr = Server.address t in
+  (* a request before the drain works *)
+  (match Client.call ~attempts:1 addr (Wire.run ~m:1 "example2") with
+  | Ok (Wire.Answer _) -> ()
+  | _ -> Alcotest.fail "pre-drain request failed");
+  Server.stop t;
+  Server.wait t;
+  (* fully drained: the socket is gone *)
+  match Client.connect addr with
+  | Error _ -> ()
+  | Ok c ->
+    (* the listener may linger closed-but-bound on some stacks; any
+       admitted request must still be refused as shedding *)
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    (match Client.request c (Wire.run "example1") with
+    | Ok (Wire.Shed _) | Error _ -> ()
+    | Ok r -> Alcotest.fail ("expected refusal, got " ^ Wire.status r))
+
+let test_server_snapshot_restart_warm () =
+  let file = Filename.temp_file "serve_snap" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let req = Wire.run ~m:1 "gauss" in
+      let answer_of t =
+        match Client.call ~attempts:3 (Server.address t) req with
+        | Ok (Wire.Answer s) -> s
+        | Ok r -> Alcotest.fail ("expected Answer, got " ^ Wire.status r)
+        | Error e -> Alcotest.fail e
+      in
+      let a = with_server ~cache_file:file answer_of in
+      (* simulate the restart: drop every in-memory shard, then start a
+         fresh server on the snapshot file *)
+      Cache.clear ();
+      Alcotest.(check int) "cleared" 0 (Cache.stats ()).Cache.entries;
+      let entries_after_load, b =
+        with_server ~cache_file:file (fun t ->
+            ((Cache.stats ()).Cache.entries, answer_of t))
+      in
+      Alcotest.(check bool) "snapshot repopulated the tables" true
+        (entries_after_load > 0);
+      Alcotest.(check string) "warm restart serves identical bytes" a b)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "frame",
+        [
+          QCheck_alcotest.to_alcotest prop_frame_roundtrip;
+          QCheck_alcotest.to_alcotest prop_frame_garbage_never_raises;
+          Alcotest.test_case "truncated header" `Quick test_frame_truncated_header;
+          Alcotest.test_case "truncated payload" `Quick
+            test_frame_truncated_payload;
+          Alcotest.test_case "oversized" `Quick test_frame_oversized;
+          Alcotest.test_case "encode rejects oversized" `Quick
+            test_frame_encode_rejects_oversized;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_wire_request_roundtrip;
+          Alcotest.test_case "solve_key ignores deadline" `Quick
+            test_wire_solve_key_ignores_deadline;
+          Alcotest.test_case "request rejects" `Quick test_wire_request_rejects;
+          Alcotest.test_case "response roundtrip" `Quick
+            test_wire_response_roundtrip;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "matches Fault.backoff" `Quick
+            test_backoff_matches_fault;
+          Alcotest.test_case "jitter bounded + deterministic" `Quick
+            test_backoff_jitter_bounds;
+          Alcotest.test_case "no jitter = exp_delay" `Quick
+            test_backoff_no_jitter_is_exp;
+          Alcotest.test_case "validation" `Quick test_backoff_validation;
+          QCheck_alcotest.to_alcotest prop_hash_unit_in_range;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "save is atomic" `Quick test_cache_save_atomic;
+          Alcotest.test_case "corrupt load counted" `Quick
+            test_cache_corrupt_load_counted;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "ok bytes = offline bytes" `Quick test_server_ok_bytes;
+          Alcotest.test_case "repeat + stats" `Quick test_server_repeat_and_stats;
+          Alcotest.test_case "deadline 0 times out" `Quick
+            test_server_deadline_timeout;
+          Alcotest.test_case "full queue sheds" `Quick test_server_sheds_when_full;
+          Alcotest.test_case "malformed frame answered" `Quick
+            test_server_malformed_frame;
+          Alcotest.test_case "unknown workload fails" `Quick
+            test_server_unknown_workload;
+          Alcotest.test_case "concurrent clients" `Quick
+            test_server_concurrent_clients;
+          Alcotest.test_case "drain refuses new work" `Quick
+            test_server_drain_refuses_new_work;
+          Alcotest.test_case "snapshot restart warm" `Quick
+            test_server_snapshot_restart_warm;
+        ] );
+    ]
