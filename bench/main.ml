@@ -859,6 +859,93 @@ let mapbench () =
   Format.eprintf "process-mapping snapshot written to BENCH_map.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Topology families: hop-bytes and simulated cycles per machine       *)
+(* ------------------------------------------------------------------ *)
+
+(* The Table-2 workloads re-run across the pluggable topology
+   families: the paper's torus plus a fat tree and a dragonfly in both
+   routing modes.  Per (topology, workload): residual hop-bytes before
+   and after placement search, and the event-simulated makespan of the
+   searched placement's traffic.  Everything is closed-form or
+   seed-deterministic, so BENCH_topo.json diffs clean and feeds the
+   bench-compare gate — a routing or capacity regression on any family
+   moves a pinned number. *)
+let topobench () =
+  section "Pluggable topologies - hop-bytes and simulated cycles";
+  let seed = 42 in
+  let topos =
+    [
+      Machine.Topology.make ~torus:true [| 8; 8 |];
+      Machine.Topology.fat_tree ~levels:3 ~arity:4;
+      Machine.Topology.dragonfly ~groups:4 ~routers:4 ~hosts:2 ();
+      Machine.Topology.dragonfly ~routing:(Machine.Topology.Valiant seed)
+        ~groups:4 ~routers:4 ~hosts:2 ();
+    ]
+  in
+  Format.printf "%-28s %-12s %10s %10s %7s %9s@." "topology" "workload"
+    "hb id" "hb search" "gain" "cycles";
+  let blocks =
+    List.map
+      (fun topo ->
+        let spec = Machine.Topology.to_string topo in
+        let vgrid =
+          [| 2 * Machine.Topology.dim topo 0; 2 * Machine.Topology.dim topo 1 |]
+        in
+        let layout = Distrib.Layout.all_cyclic 2 in
+        let place v = Distrib.Layout.place layout ~vgrid ~topo v in
+        let n = Machine.Topology.size topo in
+        let entries =
+          List.map
+            (fun (w : Resopt.Workloads.t) ->
+              let flows = Resopt.Residual.flows_of_workload ~m:2 w in
+              let msgs =
+                List.concat_map
+                  (fun flow ->
+                    Machine.Patterns.affine_messages ~vgrid ~flow ~bytes:8
+                      ~place ())
+                  flows
+              in
+              let vol =
+                Machine.Volgraph.sorted (Machine.Volgraph.of_messages msgs)
+              in
+              let perm = Mapping.search ~seed topo vol in
+              let hb_id = Mapping.hop_bytes topo vol (Mapping.identity n) in
+              let hb_se = Mapping.hop_bytes topo vol perm in
+              let ev =
+                Machine.Eventsim.run topo Machine.Eventsim.default_params
+                  (Mapping.apply perm msgs)
+              in
+              let cycles = ev.Machine.Eventsim.cycles in
+              Format.printf "%-28s %-12s %10d %10d %6.2fx %9d@." spec
+                w.Resopt.Workloads.name hb_id hb_se
+                (if hb_se > 0 then float_of_int hb_id /. float_of_int hb_se
+                 else 1.0)
+                cycles;
+              record
+                (Printf.sprintf "%s.%s.hop_bytes_search" spec
+                   w.Resopt.Workloads.name)
+                (float_of_int hb_se);
+              record
+                (Printf.sprintf "%s.%s.cycles" spec w.Resopt.Workloads.name)
+                (float_of_int cycles);
+              Printf.sprintf
+                "{\"name\":\"%s\",\"hop_bytes\":{\"identity\":%d,\"search\":%d},\"cycles\":%d}"
+                w.Resopt.Workloads.name hb_id hb_se cycles)
+            (Resopt.Workloads.all ())
+        in
+        Printf.sprintf "{\"spec\":\"%s\",\"hosts\":%d,\"workloads\":[%s]}" spec
+          n
+          (String.concat "," entries))
+      topos
+  in
+  let json =
+    Printf.sprintf "{\"seed\":%d,\"topologies\":[%s]}" seed
+      (String.concat "," blocks)
+  in
+  Obs.write_file "BENCH_topo.json" json;
+  Format.eprintf "topology snapshot written to BENCH_topo.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Optimization service: throughput and latency, cold vs warm          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1081,6 +1168,7 @@ let experiments =
     ("eventsim", eventsim);
     ("faultbench", faultbench);
     ("mapbench", mapbench);
+    ("topobench", topobench);
     ("servebench", servebench);
     ("weighting", weighting);
     ("ablations", ablations);

@@ -219,6 +219,44 @@ let faults_term =
   in
   Term.(const build $ spec_arg $ seed_arg)
 
+(* --topo SPEC: shared pluggable-topology flag.  Without it every
+   command keeps its historical machines and its output is
+   byte-identical to builds before the topology layer existed. *)
+let topo_term =
+  let spec_arg =
+    let doc =
+      "Run on the network described by $(docv): $(b,mesh:PxQ) or \
+       $(b,torus:PxQ) (any number of x-separated extents), \
+       $(b,fattree:LEVELS:ARITY), or \
+       $(b,dragonfly:GROUPS:ROUTERS:HOSTS)[$(b,:adaptive)[$(b,:SEED)]] \
+       for Valiant-style seeded adaptive routing.  Composes with \
+       $(b,--faults), $(b,--map), $(b,--jobs) and $(b,--cache) \
+       unchanged."
+    in
+    Arg.(value & opt (some string) None & info [ "topo" ] ~docv:"SPEC" ~doc)
+  in
+  let build = function
+    | None -> None
+    | Some s -> (
+      match Machine.Topology.of_string s with
+      | Ok t -> Some t
+      | Error e ->
+        Format.eprintf "%s@." e;
+        exit 1)
+  in
+  Term.(const build $ spec_arg)
+
+(* Commands that fold residual flows over a 2-D virtual grid need a
+   2-D host view; every fat tree and dragonfly has one, a 1-D or 3-D
+   grid does not. *)
+let require_host_grid2d cmd t =
+  if Machine.Topology.ndims t <> 2 then begin
+    Format.eprintf "%s: --topo %s has no 2-D host grid@." cmd
+      (Machine.Topology.to_string t);
+    exit 1
+  end;
+  t
+
 let list_cmd =
   let doc = "List the available workloads." in
   let run () =
@@ -251,7 +289,7 @@ let run_cmd =
     let doc = "Baseline to run instead: $(b,platonoff) or $(b,feautrier)." in
     Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"NAME" ~doc)
   in
-  let run name m baseline faults cache mapping obs =
+  let run name m baseline faults cache mapping topo obs =
     let w = find_workload name in
     with_obs obs @@ fun () ->
     with_cache cache @@ fun () ->
@@ -260,7 +298,7 @@ let run_cmd =
       (* the report (plus mapping / resilience blocks) renders through
          Serve.Answer so the CLI and the serve daemon cannot drift:
          the daemon's ok-responses are these exact bytes *)
-      print_string (Serve.Answer.render ?faults ?mapping ~m w)
+      print_string (Serve.Answer.render ?faults ?mapping ?topo ~m w)
     | Some "platonoff" ->
       let r =
         Resopt.Platonoff.run ~m ~schedule:w.Resopt.Workloads.schedule
@@ -282,7 +320,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ workload_arg $ m_arg $ baseline_arg $ faults_term $ cache_term
-      $ map_term $ obs_term)
+      $ map_term $ topo_term $ obs_term)
 
 let graph_cmd =
   let doc = "Print the access graph of a workload." in
@@ -454,11 +492,16 @@ let chaos_cmd =
   let seed_arg =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed.")
   in
-  let run count seed jobs obs =
+  let run count seed jobs topo obs =
     with_obs obs @@ fun () ->
-    let par = Machine.Models.paragon () in
-    let topo = par.Machine.Models.topo in
-    let vgrid = [| 16; 8 |] in
+    let topo =
+      match topo with
+      | None -> (Machine.Models.paragon ()).Machine.Models.topo
+      | Some t -> require_host_grid2d "chaos" t
+    in
+    let vgrid =
+      [| 2 * Machine.Topology.dim topo 0; 2 * Machine.Topology.dim topo 1 |]
+    in
     let layout = Distrib.Layout.all_cyclic 2 in
     let place v = Distrib.Layout.place layout ~vgrid ~topo v in
     (* traffic: the 2x2 data flows of the optimized workload plans,
@@ -545,7 +588,7 @@ let chaos_cmd =
     if !failed > 0 then exit 1
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const run $ count_arg $ seed_arg $ jobs_arg $ obs_term)
+    Term.(const run $ count_arg $ seed_arg $ jobs_arg $ topo_term $ obs_term)
 
 let sweep_cmd =
   let doc =
@@ -563,14 +606,19 @@ let sweep_cmd =
     in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
   in
-  let run jobs ms csv faults cache mapping obs profile =
+  let run jobs ms csv faults cache mapping topo obs profile =
     with_obs obs @@ fun () ->
     with_profile profile @@ fun () ->
     with_cache cache @@ fun () ->
     (* --faults adds the resilience columns (gain re-priced at the
        default fault rates on top of the given spec) and --map the
-       gain_map column; without them the table and CSV are unchanged *)
-    let rows = Resopt.Sweep.run ?jobs ~ms ?faults ?mapping () in
+       gain_map column; without them the table and CSV are unchanged.
+       --topo swaps the three historical machines for the one
+       requested topology. *)
+    let models =
+      Option.map (fun t -> [ Machine.Models.of_topo t ]) topo
+    in
+    let rows = Resopt.Sweep.run ?jobs ~ms ?models ?faults ?mapping () in
     Resopt.Sweep.pp_table Format.std_formatter rows;
     match csv with
     | None -> ()
@@ -581,7 +629,7 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const run $ jobs_arg $ ms_arg $ csv_arg $ faults_term $ cache_term
-      $ map_term $ obs_term $ profile_term)
+      $ map_term $ topo_term $ obs_term $ profile_term)
 
 let search_cmd =
   let doc =
@@ -700,18 +748,23 @@ let report_cmd =
     in
     Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE" ~doc)
   in
-  let net_report w name m grid mesh bytes html faults mapping =
-    let dims =
-      match
-        List.map int_of_string_opt (String.split_on_char 'x' grid)
-      with
-      | [ Some p; Some q ] when p > 0 && q > 0 -> [| p; q |]
-      | _ ->
-        Format.eprintf "bad --grid %s (expected PxQ)@." grid;
-        exit 1
+  let net_report w name m grid mesh bytes html faults mapping topo =
+    let topo =
+      match topo with
+      | Some t ->
+        (* --topo overrides --grid/--mesh *)
+        require_host_grid2d "report --net" t
+      | None -> (
+        match List.map int_of_string_opt (String.split_on_char 'x' grid) with
+        | [ Some p; Some q ] when p > 0 && q > 0 ->
+          Machine.Topology.make ~torus:(not mesh) [| p; q |]
+        | _ ->
+          Format.eprintf "bad --grid %s (expected PxQ)@." grid;
+          exit 1)
     in
-    let topo = Machine.Topology.make ~torus:(not mesh) dims in
-    let vgrid = [| dims.(0) * 2; dims.(1) * 2 |] in
+    let vgrid =
+      [| 2 * Machine.Topology.dim topo 0; 2 * Machine.Topology.dim topo 1 |]
+    in
     let layout = Distrib.Layout.all_cyclic 2 in
     let place v = Distrib.Layout.place layout ~vgrid ~topo v in
     let msgs =
@@ -766,10 +819,10 @@ let report_cmd =
       Obs.write_file file (Obs.Telemetry.render_html (Obs.Telemetry.runs ()));
       Format.eprintf "dashboard written to %s@." file
   in
-  let run name m net grid mesh bytes html faults mapping obs =
+  let run name m net grid mesh bytes html faults mapping topo obs =
     let w = find_workload name in
     with_obs obs @@ fun () ->
-    if net then net_report w name m grid mesh bytes html faults mapping
+    if net then net_report w name m grid mesh bytes html faults mapping topo
     else
       let r =
         Resopt.Pipeline.run ~m ~schedule:w.Resopt.Workloads.schedule
@@ -780,7 +833,7 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
       const run $ workload_arg $ m_arg $ net_arg $ grid_arg $ mesh_arg
-      $ bytes_arg $ html_arg $ faults_term $ map_term $ obs_term)
+      $ bytes_arg $ html_arg $ faults_term $ map_term $ topo_term $ obs_term)
 
 let bench_compare_cmd =
   let doc =
@@ -997,7 +1050,7 @@ let simulate_cmd =
     let doc = "Distribution: $(b,grouped), $(b,block), $(b,cyclic) or $(b,cyclicb)." in
     Arg.(value & opt string "grouped" & info [ "layout" ] ~docv:"SCHEME" ~doc)
   in
-  let run k layout faults obs =
+  let run k layout faults topo obs =
     let scheme =
       match layout with
       | "grouped" -> Distrib.Layout.Grouped (max 1 k)
@@ -1009,20 +1062,26 @@ let simulate_cmd =
         exit 1
     in
     with_obs obs @@ fun () ->
-    let par = Machine.Models.paragon ~p:16 ~q:4 () in
+    let model, where =
+      match topo with
+      | None -> (Machine.Models.paragon ~p:16 ~q:4 (), "16x4 mesh")
+      | Some t ->
+        let t = require_host_grid2d "simulate" t in
+        (Machine.Models.of_topo t, Machine.Topology.to_string t)
+    in
     let uk = Linalg.Mat.of_lists [ [ 1; k ]; [ 0; 1 ] ] in
     let stats =
       Obs.with_span "simulate" ~args:[ ("k", string_of_int k); ("layout", layout) ]
       @@ fun () ->
-      Distrib.Foldsim.time ?faults par
+      Distrib.Foldsim.time ?faults model
         ~layout:[| scheme; Distrib.Layout.Block |]
         ~vgrid:[| 840; 8 |] ~flow:uk ()
     in
-    Format.printf "U_%d under %a x BLOCK on 16x4 mesh: %a@." k
-      Distrib.Layout.pp_scheme scheme Machine.Netsim.pp_stats stats
+    Format.printf "U_%d under %a x BLOCK on %s: %a@." k
+      Distrib.Layout.pp_scheme scheme where Machine.Netsim.pp_stats stats
   in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ k_arg $ layout_arg $ faults_term $ obs_term)
+    Term.(const run $ k_arg $ layout_arg $ faults_term $ topo_term $ obs_term)
 
 let () =
   (* Wall-clock spans everywhere: the default Sys.time is processor

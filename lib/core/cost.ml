@@ -98,17 +98,17 @@ let entry_cost ~faults ?remap model ~bytes (e : Commplan.entry) =
    everything [entry_cost] reads — machine parameters, item size,
    fault schedule and, per entry, exactly the classification fields
    that reach a cost formula. *)
+(* Schema v2: the topology joins the key through its spec grammar
+   (mesh/torus/fattree/dragonfly) instead of bare grid extents — v1
+   disk snapshots simply start cold. *)
 let memo : breakdown Cache.Memo.t =
-  Cache.Memo.create ~name:"cost.of_plan" ~schema:"v1" ()
+  Cache.Memo.create ~name:"cost.of_plan" ~schema:"v2" ()
 
 let model_key (model : Machine.Models.t) =
   let topo = model.Machine.Models.topo in
   let net = model.Machine.Models.net in
-  Printf.sprintf "%s|%s%s|%h,%h,%h|%s" model.Machine.Models.name
-    (String.concat "x"
-       (List.map string_of_int
-          (Array.to_list topo.Machine.Topology.dims)))
-    (if topo.Machine.Topology.torus then "t" else "m")
+  Printf.sprintf "%s|%s|%h,%h,%h|%s" model.Machine.Models.name
+    (Machine.Topology.to_string topo)
     net.Machine.Netsim.alpha net.Machine.Netsim.beta net.Machine.Netsim.hop
     (match model.Machine.Models.hw with
     | None -> "sw"

@@ -119,8 +119,9 @@ let tele_run ~sim ~label ~(topo : Topology.t) ~faults ~total_cycles ~messages
   {
     Obs.Telemetry.sim;
     label;
-    dims = Array.copy topo.Topology.dims;
-    torus = topo.Topology.torus;
+    dims = (if Topology.is_grid topo then Topology.dims topo else [||]);
+    torus = Topology.is_torus topo;
+    topo_spec = (if Topology.is_grid topo then "" else Topology.to_string topo);
     total_cycles;
     fault_spec = Fault.label faults;
     messages;
@@ -148,13 +149,16 @@ let classify_remote faults topo remote =
   in
   (routable, List.rev !unreachable)
 
-let effective_rate faults params l =
-  if Fault.is_none faults then params.bytes_per_cycle
+(* Link speed in bytes per cycle: the base wire rate scaled by the
+   link's capacity (1 on every grid link, [arity^level] up a fat tree,
+   [hosts] on a dragonfly global link), then degraded by faults. *)
+let effective_rate topo faults params l =
+  let base = params.bytes_per_cycle * Topology.link_capacity topo l in
+  if Fault.is_none faults then base
   else
     max 1
       (int_of_float
-         (Float.round
-            (float_of_int params.bytes_per_cycle *. Fault.bandwidth_factor faults l)))
+         (Float.round (float_of_int base *. Fault.bandwidth_factor faults l)))
 
 (* Wormhole: a greedy circuit scheduler.  Messages are considered in
    injection order; each starts as soon as it is injected and every
@@ -220,8 +224,12 @@ let run_wormhole ~label faults topo params msgs =
       if depth > !max_queue then max_queue := depth;
       let start = max inject path_free in
       let bw =
-        List.fold_left (fun acc l -> min acc (effective_rate faults params l))
-          params.bytes_per_cycle path
+        match path with
+        | [] -> params.bytes_per_cycle
+        | _ ->
+          List.fold_left
+            (fun acc l -> min acc (effective_rate topo faults params l))
+            max_int path
       in
       let duration =
         List.length path + ((max 1 m.Message.bytes + bw - 1) / bw)
@@ -322,7 +330,7 @@ let run ?(faults = Fault.none) ?(label = "") ?sampler ?(sample_every = 64) topo
               {
                 queue = Queue.create ();
                 current = None;
-                rate = effective_rate faults params l;
+                rate = effective_rate topo faults params l;
               })
         p.route)
     injections;

@@ -263,6 +263,14 @@ let label t = if is_none t then "" else to_string t.specs
 (* ------------------------------------------------------------------ *)
 
 let random_link rng topo =
+  if not (Topology.is_grid topo) then begin
+    (* switched topologies: a uniform draw over the link list (hosts,
+       switch fabric and global links alike) *)
+    match Topology.links topo with
+    | [] -> None
+    | links -> Some (fst (List.nth links (Rng.int rng (List.length links))))
+  end
+  else
   let n = Topology.size topo in
   let a = Rng.int rng n in
   let coords = Topology.coords_of topo a in

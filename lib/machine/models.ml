@@ -45,6 +45,22 @@ let sp2 ?(nodes = 16) () =
     hw = None;
   }
 
+(* A model for an arbitrary [--topo] spec: Paragon-flavoured wire
+   parameters (the ratios are what matters) with the collective
+   capability hint consumed here — a fat tree, like the CM-5 whose
+   stand-in it is, runs broadcasts and reductions on its control
+   network. *)
+let of_topo topo =
+  {
+    name = Topology.to_string topo;
+    topo;
+    net = { Netsim.alpha = 10.0; beta = 0.1; hop = 0.4 };
+    hw =
+      (if (Topology.capability topo).Topology.hw_collectives then
+         Some { coll_alpha = 6.0; coll_beta = 0.02 }
+       else None);
+  }
+
 let of_calibration ~name topo params =
   let fit = Calibrate.fit_model topo params in
   {

@@ -32,6 +32,13 @@ val sp2 : ?nodes:int -> unit -> t
     switches with near-uniform distances and high per-message
     start-up. *)
 
+val of_topo : Topology.t -> t
+(** The model behind the [--topo] flag: the given topology under
+    Paragon-flavoured wire parameters, named by its spec string.
+    Consumes the topology's {!Topology.capability} hint — hardware
+    collectives (the fat tree's control network) price like the
+    CM-5's. *)
+
 val of_calibration :
   name:string -> Topology.t -> Eventsim.params -> t
 (** Build a closed-form model whose [alpha]/[beta] are fitted from

@@ -21,19 +21,25 @@ let route_of faults topo (m : Message.t) =
 
 (* Effective bytes a link must carry for [bytes] payload bytes:
    expected retransmissions over a flaky link divided by the remaining
-   bandwidth fraction — the degraded-capacity cost model.  Exact
-   integer identity (no float round-trip) on a healthy link. *)
-let effective_load faults l bytes =
-  if Fault.is_none faults then bytes
+   bandwidth fraction — the degraded-capacity cost model — and by the
+   link's capacity (a fat-tree uplink of capacity k moves k bytes per
+   unit load).  Exact integer identity (no float round-trip) on a
+   healthy unit-capacity link, i.e. every fault-free grid link. *)
+let effective_load topo faults l bytes =
+  let cap = Topology.link_capacity topo l in
+  if Fault.is_none faults && cap = 1 then bytes
   else
-    let w = Fault.expected_transmissions faults l /. Fault.bandwidth_factor faults l in
-    int_of_float (ceil (float_of_int bytes *. w))
+    let w =
+      if Fault.is_none faults then 1.0
+      else Fault.expected_transmissions faults l /. Fault.bandwidth_factor faults l
+    in
+    int_of_float (ceil (float_of_int bytes *. w /. float_of_int cap))
 
 (* The one per-link accumulation, shared by [link_loads] and [run]:
    a {!Volgraph} accumulator keyed by directed link. *)
-let add_route_loads faults loads bytes path =
+let add_route_loads topo faults loads bytes path =
   List.iter
-    (fun link -> Volgraph.add loads link (effective_load faults link bytes))
+    (fun link -> Volgraph.add loads link (effective_load topo faults link bytes))
     path
 
 let link_loads ?(faults = Fault.none) topo msgs =
@@ -42,7 +48,7 @@ let link_loads ?(faults = Fault.none) topo msgs =
     (fun (m : Message.t) ->
       if not (Message.is_local m) then
         match route_of faults topo m with
-        | Some path -> add_route_loads faults loads m.Message.bytes path
+        | Some path -> add_route_loads topo faults loads m.Message.bytes path
         | None -> ())
     msgs;
   Volgraph.to_list loads
@@ -96,7 +102,7 @@ let run ?(coalesce = true) ?(faults = Fault.none) ?(label = "") topo params msgs
         let h = List.length path in
         total_hops := !total_hops + h;
         if h > !max_hops then max_hops := h;
-        add_route_loads faults loads m.Message.bytes path;
+        add_route_loads topo faults loads m.Message.bytes path;
         if tele then begin
           t_msgs := tele_message h m Obs.Telemetry.Delivered :: !t_msgs;
           List.iter
@@ -143,8 +149,9 @@ let run ?(coalesce = true) ?(faults = Fault.none) ?(label = "") topo params msgs
       {
         Obs.Telemetry.sim = "netsim";
         label;
-        dims = Array.copy topo.Topology.dims;
-        torus = topo.Topology.torus;
+        dims = (if Topology.is_grid topo then Topology.dims topo else [||]);
+        torus = Topology.is_torus topo;
+        topo_spec = (if Topology.is_grid topo then "" else Topology.to_string topo);
         total_cycles = 0;
         fault_spec = Fault.label faults;
         messages =

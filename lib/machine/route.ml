@@ -1,98 +1,8 @@
-(* Step direction along dimension [d]: +1 or -1, taking the shorter
-   way around on a torus. *)
-let step_dir topo cur target d =
-  let n = Topology.dim topo d in
-  let fwd = ((target - cur) mod n + n) mod n in
-  if not (Topology.is_torus topo) then if target > cur then 1 else -1
-  else if fwd <= n - fwd then 1
-  else -1
+(* Thin aliases: the per-shape routing (dimension-order on grids,
+   up/down on fat trees, minimal/Valiant on dragonflies) and the
+   shared BFS detour live in {!Topology}; this module keeps the
+   historical call sites compiling unchanged. *)
 
-let path topo ~src ~dst =
-  let cur = Topology.coords_of topo src in
-  let target = Topology.coords_of topo dst in
-  let hops = ref [] in
-  for d = 0 to Topology.ndims topo - 1 do
-    while cur.(d) <> target.(d) do
-      let from_rank = Topology.rank_of topo cur in
-      let n = Topology.dim topo d in
-      let dir = step_dir topo cur.(d) target.(d) d in
-      cur.(d) <- ((cur.(d) + dir) mod n + n) mod n;
-      let to_rank = Topology.rank_of topo cur in
-      hops := (from_rank, to_rank) :: !hops
-    done
-  done;
-  List.rev !hops
-
-(* Deterministic neighbour enumeration: dimensions in ascending order,
-   +1 before -1, wrapping on a torus.  Fixing this order fixes the BFS
-   tie-breaking, so detours are reproducible. *)
-let neighbors topo r =
-  let coords = Topology.coords_of topo r in
-  let acc = ref [] in
-  for d = Topology.ndims topo - 1 downto 0 do
-    let n = Topology.dim topo d in
-    List.iter
-      (fun dir ->
-        let c = coords.(d) + dir in
-        let c =
-          if Topology.is_torus topo then ((c mod n) + n) mod n else c
-        in
-        if c >= 0 && c < n && c <> coords.(d) then begin
-          let coords' = Array.copy coords in
-          coords'.(d) <- c;
-          acc := Topology.rank_of topo coords' :: !acc
-        end)
-      [ -1; 1 ]
-  done;
-  !acc
-
-let path_avoiding ~down topo ~src ~dst =
-  if src = dst then Some []
-  else begin
-    let dimension_order = path topo ~src ~dst in
-    if not (List.exists down dimension_order) then Some dimension_order
-    else begin
-      (* the deterministic route is broken: breadth-first detour over
-         the surviving links, shortest path with fixed tie-breaking *)
-      let n = Topology.size topo in
-      let parent = Array.make n (-1) in
-      let visited = Array.make n false in
-      visited.(src) <- true;
-      let q = Queue.create () in
-      Queue.push src q;
-      let found = ref false in
-      while (not !found) && not (Queue.is_empty q) do
-        let cur = Queue.pop q in
-        if cur = dst then found := true
-        else
-          List.iter
-            (fun next ->
-              if (not visited.(next)) && not (down (cur, next)) then begin
-                visited.(next) <- true;
-                parent.(next) <- cur;
-                Queue.push next q
-              end)
-            (neighbors topo cur)
-      done;
-      if not !found then None
-      else begin
-        let rec build acc cur =
-          if cur = src then acc else build ((parent.(cur), cur) :: acc) parent.(cur)
-        in
-        Some (build [] dst)
-      end
-    end
-  end
-
-let hops topo ~src ~dst =
-  let a = Topology.coords_of topo src and b = Topology.coords_of topo dst in
-  let acc = ref 0 in
-  Array.iteri
-    (fun i x ->
-      let d = abs (x - b.(i)) in
-      let d =
-        if Topology.is_torus topo then min d (Topology.dim topo i - d) else d
-      in
-      acc := !acc + d)
-    a;
-  !acc
+let path = Topology.route
+let hops = Topology.distance
+let path_avoiding ~down topo ~src ~dst = Topology.route_avoiding ~down topo ~src ~dst

@@ -1,16 +1,19 @@
-(** Dimension-order (XY) routing on a mesh.
+(** Routing façade over {!Topology}.
 
-    Every message follows the deterministic path correcting coordinate
-    0 first, then coordinate 1, etc. — the Paragon's routing
-    discipline, and the reason simultaneous general communications
-    collide on shared links. *)
+    Historically this module implemented dimension-order (XY) routing
+    on a mesh — the Paragon's discipline, and the reason simultaneous
+    general communications collide on shared links.  Routing is now a
+    property of the topology (fat trees route up/down through the
+    least common ancestor, dragonflies minimally or adaptively); these
+    aliases keep the original call sites working on every shape. *)
 
 val path : Topology.t -> src:int -> dst:int -> (int * int) list
-(** Unit hops as [(from_rank, to_rank)] pairs; empty when
-    [src = dst]. *)
+(** [Topology.route]: unit hops as [(from_rank, to_rank)] pairs; empty
+    when [src = dst]. *)
 
 val hops : Topology.t -> src:int -> dst:int -> int
-(** Manhattan distance. *)
+(** [Topology.distance]: minimal-route hop count (Manhattan on
+    grids). *)
 
 val path_avoiding :
   down:(int * int -> bool) ->
@@ -18,10 +21,9 @@ val path_avoiding :
   src:int ->
   dst:int ->
   (int * int) list option
-(** Dimension-order routing with detour: the plain {!path} when none
-    of its hops satisfies [down], otherwise a deterministic
-    breadth-first shortest path over the surviving links (dimensions
-    ascending, positive direction first — the tie-breaking is fixed,
-    so the same fault set always yields the same detour).  [None] when
-    every route to [dst] crosses a down link — the caller reports the
-    destination unreachable instead of hanging. *)
+(** [Topology.route_avoiding]: the plain {!path} when none of its hops
+    satisfies [down], otherwise a deterministic breadth-first shortest
+    path over the surviving links (fixed tie-breaking, so the same
+    fault set always yields the same detour).  [None] when every route
+    to [dst] crosses a down link — the caller reports the destination
+    unreachable instead of hanging. *)

@@ -16,7 +16,7 @@ let load_heatmap topo msgs =
     else Char.chr (Char.code '0' + min 9 (1 + (v * 8 / peak)))
   in
   let buf = Buffer.create 256 in
-  let dims = (topo : Topology.t).Topology.dims in
+  let dims = Topology.dims topo in
   let cols = dims.(Array.length dims - 1) in
   Array.iteri
     (fun rank v ->
@@ -38,6 +38,10 @@ let link_table topo msgs =
   Buffer.contents buf
 
 let link_load_heatmap ?faults topo msgs =
-  Obs.Telemetry.heatmap ~dims:(topo : Topology.t).Topology.dims
-    ~torus:topo.Topology.torus
+  (* Switched topologies have no per-node glyph layout (routes cross
+     switch vertices); an empty [dims] makes the telemetry renderer
+     fall back to its sorted link table. *)
+  Obs.Telemetry.heatmap
+    ~dims:(if Topology.is_grid topo then Topology.dims topo else [||])
+    ~torus:(Topology.is_torus topo)
     (Netsim.link_loads ?faults topo msgs)

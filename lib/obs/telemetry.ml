@@ -34,6 +34,7 @@ type run = {
   label : string;
   dims : int array;
   torus : bool;
+  topo_spec : string;
   total_cycles : int;
   fault_spec : string;
   messages : message list;
@@ -215,14 +216,17 @@ let pct_line name xs =
 
 let render_ascii run =
   let buf = Buffer.create 1024 in
-  let dims_str =
-    String.concat "x" (Array.to_list (Array.map string_of_int run.dims))
+  let where =
+    if run.topo_spec <> "" then run.topo_spec
+    else
+      Printf.sprintf "%s %s"
+        (String.concat "x" (Array.to_list (Array.map string_of_int run.dims)))
+        (if run.torus then "torus" else "mesh")
   in
   Buffer.add_string buf
-    (Printf.sprintf "telemetry: %s%s on %s %s, %d messages%s\n" run.sim
+    (Printf.sprintf "telemetry: %s%s on %s, %d messages%s\n" run.sim
        (if run.label = "" then "" else " [" ^ run.label ^ "]")
-       dims_str
-       (if run.torus then "torus" else "mesh")
+       where
        (List.length run.messages)
        (if run.total_cycles > 0 then Printf.sprintf ", %d cycles" run.total_cycles
         else ""));
@@ -316,10 +320,13 @@ let bounded l = List.filteri (fun i _ -> i < max_embedded) l
 
 let run_json run =
   Printf.sprintf
-    "{\"sim\":%s,\"label\":%s,\"dims\":[%s],\"torus\":%b,\"cycles\":%d,\"faults\":%s,\"summary\":{\"messages\":%d,\"delivered\":%d,\"dropped\":%d,\"unreachable\":%d,\"retransmits\":%d,\"latency\":%s,\"queue_wait\":%s,\"link_gini\":%s},\"links\":[%s],\"messages\":[%s],\"events\":[%s]}"
+    "{\"sim\":%s,\"label\":%s,\"dims\":[%s],\"torus\":%b%s,\"cycles\":%d,\"faults\":%s,\"summary\":{\"messages\":%d,\"delivered\":%d,\"dropped\":%d,\"unreachable\":%d,\"retransmits\":%d,\"latency\":%s,\"queue_wait\":%s,\"link_gini\":%s},\"links\":[%s],\"messages\":[%s],\"events\":[%s]}"
     (json_str run.sim) (json_str run.label)
     (String.concat "," (Array.to_list (Array.map string_of_int run.dims)))
-    run.torus run.total_cycles
+    run.torus
+    (if run.topo_spec = "" then ""
+     else ",\"topo\":" ^ json_str run.topo_spec)
+    run.total_cycles
     (json_str run.fault_spec)
     (List.length run.messages)
     (count_outcome run Delivered)
@@ -363,7 +370,8 @@ let render_html runs =
       "data.runs.forEach((run, idx) => {";
       "  const sec = document.createElement('div');";
       "  const s = run.summary;";
-      "  let html = `<h2>run ${idx}: ${esc(run.sim)} ${esc(run.label)} — ${run.dims.join('x')} ${run.torus ? 'torus' : 'mesh'}`;";
+      "  const where = run.topo ? esc(run.topo) : `${run.dims.join('x')} ${run.torus ? 'torus' : 'mesh'}`;";
+      "  let html = `<h2>run ${idx}: ${esc(run.sim)} ${esc(run.label)} — ${where}`;";
       "  if (run.cycles > 0) html += `, ${run.cycles} cycles`;";
       "  if (run.faults) html += `, faults ${esc(run.faults)}`;";
       "  html += `</h2>`;";

@@ -51,8 +51,12 @@ type event = { ev_cycle : int; ev_kind : string; ev_msg : int }
 type run = {
   sim : string;  (** ["eventsim"], ["eventsim-wormhole"] or ["netsim"] *)
   label : string;
-  dims : int array;  (** topology extents, ranks row-major *)
+  dims : int array;  (** grid extents, ranks row-major; [[||]] otherwise *)
   torus : bool;
+  topo_spec : string;
+      (** the {!Machine.Topology} grammar string for switched
+          topologies (fat tree, dragonfly); [""] on grids, whose
+          runs render exactly as they always have *)
   total_cycles : int;  (** 0 for closed-form pricings *)
   fault_spec : string;  (** the {!Machine.Fault} grammar string, [""] when none *)
   messages : message list;

@@ -6,10 +6,17 @@
 let models () =
   [ Machine.Models.cm5 (); Machine.Models.paragon (); Machine.Models.t3d () ]
 
+(* [--topo SPEC] swaps the machine table for the one requested
+   topology; without it the historical three-model table renders
+   byte-identically. *)
+let models_of = function
+  | None -> models ()
+  | Some topo -> [ Machine.Models.of_topo topo ]
+
 (* the same comparison Sweep runs per row: does the optimized plan keep
    its lead over the step-1-only baseline once the machine is
    imperfect? *)
-let resilience_block ppf w m (r : Resopt.Pipeline.result) faults =
+let resilience_block ppf ~models w m (r : Resopt.Pipeline.result) faults =
   let base =
     Resopt.Feautrier.run ~m ~schedule:w.Resopt.Workloads.schedule
       w.Resopt.Workloads.nest
@@ -29,12 +36,12 @@ let resilience_block ppf w m (r : Resopt.Pipeline.result) faults =
       let gain num den = if den > 0.0 then num /. den else Float.infinity in
       Format.fprintf ppf "  %-8s %12.1f %12.1f %7.2fx %12.1f %12.1f %7.2fx@."
         model.Machine.Models.name o b (gain b o) fo fb (gain fb fo))
-    (models ())
+    models
 
 (* the placement the mapping layer picks for the plan's residual
    traffic, per 2-D model: hop-bytes before/after plus the plan price
    before/after (the sweep's gain_map column, one workload) *)
-let mapping_block ppf (r : Resopt.Pipeline.result) spec =
+let mapping_block ppf ~models (r : Resopt.Pipeline.result) spec =
   Format.fprintf ppf "@.process mapping (--map %s):@."
     (Mapping.kind_to_string spec.Mapping.kind);
   Format.fprintf ppf "  %-8s %12s %12s %8s %12s %12s %8s@." "model" "hop-bytes"
@@ -69,18 +76,19 @@ let mapping_block ppf (r : Resopt.Pipeline.result) spec =
           model.Machine.Models.name hb_id hb
           (gain (float_of_int hb_id) (float_of_int hb))
           cost mapped (gain cost mapped))
-    (models ())
+    models
 
-let render ?faults ?mapping ~m (w : Resopt.Workloads.t) =
+let render ?faults ?mapping ?topo ~m (w : Resopt.Workloads.t) =
   let buf = Buffer.create 1024 in
   let ppf = Format.formatter_of_buffer buf in
   let r =
     Resopt.Pipeline.run ~m ~schedule:w.Resopt.Workloads.schedule
       w.Resopt.Workloads.nest
   in
+  let models = models_of topo in
   Format.fprintf ppf "%a@." Resopt.Pipeline.pp r;
-  Option.iter (mapping_block ppf r) mapping;
-  Option.iter (resilience_block ppf w m r) faults;
+  Option.iter (mapping_block ppf ~models r) mapping;
+  Option.iter (resilience_block ppf ~models w m r) faults;
   Format.pp_print_flush ppf ();
   Buffer.contents buf
 

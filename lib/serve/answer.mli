@@ -12,12 +12,16 @@
 val render :
   ?faults:Machine.Fault.t ->
   ?mapping:Mapping.spec ->
+  ?topo:Machine.Topology.t ->
   m:int ->
   Resopt.Workloads.t ->
   string
 (** Optimize the workload on an [m]-dimensional grid and render the
     mapping report, followed by the process-mapping block when
-    [mapping] is given and the resilience block when [faults] is. *)
+    [mapping] is given and the resilience block when [faults] is.
+    [topo] replaces the three historical machine models with the one
+    requested topology ({!Machine.Models.of_topo}) in both blocks;
+    omitted, the output is byte-identical to what it always was. *)
 
 val of_request : Wire.request -> (string, string) result
 (** {!render} driven by a wire request: looks up the workload and

@@ -230,6 +230,56 @@ let test_patterns_translation () =
 
 (* ------------------------------------------------------------------ *)
 
+(* [--topo] byte-identity guards, via the real CLI binary: the default
+   paragon machine IS torus:8x8, so naming it explicitly must not move
+   a single byte; and a non-grid topology must not disturb runs that
+   never asked for one. *)
+
+let cli = Filename.concat (Filename.dirname Sys.executable_name) "../bin/resopt_cli.exe"
+
+let cli_output args =
+  let out = Filename.temp_file "resopt_topo" ".out" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s %s > %s 2>&1" (Filename.quote cli) args
+          (Filename.quote out)
+      in
+      let rc = Sys.command cmd in
+      let ic = open_in_bin out in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (rc, s))
+
+let test_topo_default_identity () =
+  let rc0, plain = cli_output "report example1 --net" in
+  let rc1, explicit = cli_output "report example1 --net --topo torus:8x8" in
+  Alcotest.(check int) "plain exits 0" 0 rc0;
+  Alcotest.(check int) "explicit exits 0" 0 rc1;
+  Alcotest.(check string) "--topo torus:8x8 is byte-identical to the default"
+    plain explicit;
+  let rc2, f_plain =
+    cli_output "report example1 --net --faults down:3-4 --map greedy"
+  in
+  let rc3, f_explicit =
+    cli_output
+      "report example1 --net --faults down:3-4 --map greedy --topo torus:8x8"
+  in
+  Alcotest.(check int) "faulted plain exits 0" 0 rc2;
+  Alcotest.(check int) "faulted explicit exits 0" 0 rc3;
+  Alcotest.(check string)
+    "byte-identical with --faults and --map composed" f_plain f_explicit
+
+let test_topo_bad_spec_rejected () =
+  let rc, out = cli_output "simulate --topo bogus" in
+  Alcotest.(check bool) "non-zero exit" true (rc <> 0);
+  Alcotest.(check bool) "error names the grammar" true
+    (try
+       ignore (Str.search_forward (Str.regexp_string "bad topology spec") out 0);
+       true
+     with Not_found -> false)
+
 let () =
   Alcotest.run "machine"
     [
@@ -261,5 +311,10 @@ let () =
           Alcotest.test_case "wrap bijective" `Quick test_patterns_wrap_bijective;
           Alcotest.test_case "clip boundary" `Quick test_patterns_clip;
           Alcotest.test_case "translation" `Quick test_patterns_translation;
+        ] );
+      ( "topo-flag",
+        [
+          Alcotest.test_case "default identity" `Quick test_topo_default_identity;
+          Alcotest.test_case "bad spec rejected" `Quick test_topo_bad_spec_rejected;
         ] );
     ]
