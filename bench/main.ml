@@ -946,6 +946,90 @@ let topobench () =
   Format.eprintf "topology snapshot written to BENCH_topo.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Communication lower bounds: achieved vs optimal per topology        *)
+(* ------------------------------------------------------------------ *)
+
+(* Every Table-2 workload's residual traffic, bounded and priced on
+   one machine per topology family: the cycle-packing volume bound
+   (placement-independent bytes) next to the achieved nonlocal bytes,
+   and the per-component transfer-time bound next to the fault-free
+   Netsim price.  Everything is closed-form and deterministic, so
+   BENCH_bounds.json diffs clean and feeds the bench-compare gate:
+   the efficiency metrics are higher-better there (an efficiency drop
+   is a regression), the bound/achieved bytes informational (a
+   tightened bound must not read as one). *)
+let boundsbench () =
+  section "Lower bounds - achieved vs optimal across topology families";
+  let topos =
+    [
+      ("torus8x8", Machine.Topology.make ~torus:true [| 8; 8 |]);
+      ("fattree3x4", Machine.Topology.fat_tree ~levels:3 ~arity:4);
+      ("dragonfly4x4x2", Machine.Topology.dragonfly ~groups:4 ~routers:4 ~hosts:2 ());
+    ]
+  in
+  Format.printf "%-12s %-16s %10s %10s %6s %10s %10s %6s@." "workload"
+    "topology" "bnd B" "ach B" "rank" "bnd t" "ach t" "eff";
+  let violations = ref 0 in
+  let blocks =
+    List.map
+      (fun (w : Resopt.Workloads.t) ->
+        let flows = Resopt.Residual.flows_of_workload ~m:2 w in
+        let entries =
+          List.map
+            (fun (key, topo) ->
+              let model = Machine.Models.of_topo topo in
+              match Resopt.Efficiency.of_flows model flows with
+              | None -> Printf.sprintf "\"%s\":null" key
+              | Some e ->
+                let v = e.Resopt.Efficiency.volume in
+                let tm = e.Resopt.Efficiency.time in
+                let eff = tm.Bounds.efficiency in
+                let ach = tm.Bounds.achieved.Machine.Netsim.time in
+                if
+                  v.Bounds.bound_bytes > v.Bounds.achieved_bytes
+                  || eff <= 0.0 || eff > 1.0
+                then begin
+                  incr violations;
+                  Format.eprintf "boundsbench: bound violated on %s/%s@."
+                    w.Resopt.Workloads.name key
+                end;
+                Format.printf "%-12s %-16s %10d %10d %6d %10.1f %10.1f %6.3f@."
+                  w.Resopt.Workloads.name key v.Bounds.bound_bytes
+                  v.Bounds.achieved_bytes v.Bounds.flow_rank
+                  tm.Bounds.bound_time ach eff;
+                let rec_one metric value =
+                  record
+                    (Printf.sprintf "%s.%s.%s" w.Resopt.Workloads.name key
+                       metric)
+                    value
+                in
+                rec_one "bound_bytes" (float_of_int v.Bounds.bound_bytes);
+                rec_one "achieved_bytes" (float_of_int v.Bounds.achieved_bytes);
+                rec_one "bound_time" tm.Bounds.bound_time;
+                rec_one "efficiency" eff;
+                Printf.sprintf
+                  "{\"topo\":\"%s\",\"bound_bytes\":%d,\"achieved_bytes\":%d,\"flow_rank\":%d,\"bound_time\":%.4f,\"achieved_time\":%.4f,\"efficiency\":%.6f}"
+                  key v.Bounds.bound_bytes v.Bounds.achieved_bytes
+                  v.Bounds.flow_rank tm.Bounds.bound_time ach eff)
+            topos
+        in
+        Printf.sprintf "{\"name\":\"%s\",\"topologies\":[%s]}"
+          w.Resopt.Workloads.name
+          (String.concat "," entries))
+      (Resopt.Workloads.all ())
+  in
+  Format.printf
+    "bound <= achieved and efficiency in (0, 1] everywhere: %b@."
+    (!violations = 0);
+  if !violations > 0 then exit 1;
+  let json =
+    Printf.sprintf "{\"bytes\":64,\"m\":2,\"workloads\":[%s]}"
+      (String.concat "," blocks)
+  in
+  Obs.write_file "BENCH_bounds.json" json;
+  Format.eprintf "lower-bound snapshot written to BENCH_bounds.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Optimization service: throughput and latency, cold vs warm          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1169,6 +1253,7 @@ let experiments =
     ("faultbench", faultbench);
     ("mapbench", mapbench);
     ("topobench", topobench);
+    ("boundsbench", boundsbench);
     ("servebench", servebench);
     ("weighting", weighting);
     ("ablations", ablations);

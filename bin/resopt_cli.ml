@@ -606,19 +606,29 @@ let sweep_cmd =
     in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
   in
-  let run jobs ms csv faults cache mapping topo obs profile =
+  let bounds_arg =
+    let doc =
+      "Also report the achieved-vs-bound transfer-time efficiency of \
+       every optimized plan's residual traffic (the $(b,eff) table / \
+       $(b,efficiency) CSV column, in (0, 1]).  Bounds are \
+       deterministic; without the flag the table and CSV are \
+       byte-identical to a bounds-free sweep."
+    in
+    Arg.(value & flag & info [ "bounds" ] ~doc)
+  in
+  let run jobs ms csv faults cache mapping topo bounds obs profile =
     with_obs obs @@ fun () ->
     with_profile profile @@ fun () ->
     with_cache cache @@ fun () ->
     (* --faults adds the resilience columns (gain re-priced at the
-       default fault rates on top of the given spec) and --map the
-       gain_map column; without them the table and CSV are unchanged.
-       --topo swaps the three historical machines for the one
-       requested topology. *)
+       default fault rates on top of the given spec), --map the
+       gain_map column and --bounds the eff column; without them the
+       table and CSV are unchanged.  --topo swaps the three historical
+       machines for the one requested topology. *)
     let models =
       Option.map (fun t -> [ Machine.Models.of_topo t ]) topo
     in
-    let rows = Resopt.Sweep.run ?jobs ~ms ?models ?faults ?mapping () in
+    let rows = Resopt.Sweep.run ?jobs ~ms ?models ?faults ?mapping ~bounds () in
     Resopt.Sweep.pp_table Format.std_formatter rows;
     match csv with
     | None -> ()
@@ -629,7 +639,7 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const run $ jobs_arg $ ms_arg $ csv_arg $ faults_term $ cache_term
-      $ map_term $ topo_term $ obs_term $ profile_term)
+      $ map_term $ topo_term $ bounds_arg $ obs_term $ profile_term)
 
 let search_cmd =
   let doc =
@@ -748,7 +758,16 @@ let report_cmd =
     in
     Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE" ~doc)
   in
-  let net_report w name m grid mesh bytes html faults mapping topo =
+  let bounds_arg =
+    let doc =
+      "Also print the communication lower bounds of the simulated \
+       traffic and the achieved-vs-bound efficiency (with $(b,--net); \
+       the panel joins the HTML dashboard too).  Without the flag the \
+       report and dashboard are byte-identical to a bounds-free run."
+    in
+    Arg.(value & flag & info [ "bounds" ] ~doc)
+  in
+  let net_report w name m grid mesh bytes html faults mapping topo bounds =
     let topo =
       match topo with
       | Some t ->
@@ -767,11 +786,27 @@ let report_cmd =
     in
     let layout = Distrib.Layout.all_cyclic 2 in
     let place v = Distrib.Layout.place layout ~vgrid ~topo v in
+    let flows = Resopt.Residual.flows_of_workload ~m w in
     let msgs =
       List.concat_map
         (fun flow ->
           Machine.Patterns.affine_messages ~vgrid ~flow ~bytes ~place ())
-        (Resopt.Residual.flows_of_workload ~m w)
+        flows
+    in
+    (* --bounds: lower-bound the very traffic this report simulates.
+       Computed before the telemetry sink opens so the Netsim pricing
+       inside Bounds.transfer_time never pollutes the dashboard. *)
+    let eff =
+      if bounds then
+        Some
+          {
+            Resopt.Efficiency.vgrid;
+            volume = Bounds.volume ~vgrid ~bytes ~place flows;
+            time =
+              Bounds.transfer_time topo
+                (Machine.Models.of_topo topo).Machine.Models.net msgs;
+          }
+      else None
     in
     Obs.Telemetry.enable ();
     let simulate label msgs =
@@ -813,16 +848,32 @@ let report_cmd =
         (match after with
         | Some r -> Printf.sprintf "%.3f" (gini r)
         | None -> "-"));
+    Option.iter
+      (fun e ->
+        Format.printf "@.communication lower bounds (--bounds):@.%a@?"
+          Resopt.Efficiency.pp e)
+      eff;
     match html with
     | None -> ()
     | Some file ->
-      Obs.write_file file (Obs.Telemetry.render_html (Obs.Telemetry.runs ()));
+      let extra =
+        Option.map
+          (fun e ->
+            let panel = Format.asprintf "%a" Resopt.Efficiency.pp e in
+            let escaped =
+              String.concat "&lt;" (String.split_on_char '<' panel)
+            in
+            "<h2>communication lower bounds</h2><pre>" ^ escaped ^ "</pre>")
+          eff
+      in
+      Obs.write_file file
+        (Obs.Telemetry.render_html ?extra (Obs.Telemetry.runs ()));
       Format.eprintf "dashboard written to %s@." file
   in
-  let run name m net grid mesh bytes html faults mapping topo obs =
+  let run name m net grid mesh bytes html faults mapping topo bounds obs =
     let w = find_workload name in
     with_obs obs @@ fun () ->
-    if net then net_report w name m grid mesh bytes html faults mapping topo
+    if net then net_report w name m grid mesh bytes html faults mapping topo bounds
     else
       let r =
         Resopt.Pipeline.run ~m ~schedule:w.Resopt.Workloads.schedule
@@ -833,7 +884,49 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
       const run $ workload_arg $ m_arg $ net_arg $ grid_arg $ mesh_arg
-      $ bytes_arg $ html_arg $ faults_term $ map_term $ topo_term $ obs_term)
+      $ bytes_arg $ html_arg $ faults_term $ map_term $ topo_term $ bounds_arg
+      $ obs_term)
+
+let bounds_cmd =
+  let doc =
+    "Communication lower bounds of a workload's residual traffic and \
+     the achieved-vs-optimal efficiency: the cycle-packing volume \
+     bound (bytes no balanced placement can avoid), the HBL-style \
+     flow classifier rank(F - I), and the per-component transfer-time \
+     bound on the machine model — serial ports, link-load pigeonhole \
+     / cut / distance average, farthest hop — against the fault-free \
+     achieved price.  Efficiency is provably in (0, 1]."
+  in
+  let bytes_arg =
+    let doc = "Bytes per message." in
+    Arg.(value & opt int 64 & info [ "bytes" ] ~docv:"B" ~doc)
+  in
+  let run name m bytes mapping topo cache obs =
+    let w = find_workload name in
+    with_obs obs @@ fun () ->
+    with_cache cache @@ fun () ->
+    let model =
+      match topo with
+      | None -> Machine.Models.paragon ()
+      | Some t -> Machine.Models.of_topo (require_host_grid2d "bounds" t)
+    in
+    match Resopt.Efficiency.of_workload ~bytes ?mapping ~m model w with
+    | None ->
+      Format.eprintf "bounds: %s has no 2-D simulation grid@."
+        (Machine.Topology.to_string model.Machine.Models.topo);
+      exit 1
+    | Some e ->
+      Format.printf "%s on %s (m = %d, %d-byte items%s):@.%a" name
+        model.Machine.Models.name m bytes
+        (match mapping with
+        | None -> ""
+        | Some s -> ", --map " ^ Mapping.kind_to_string s.Mapping.kind)
+        Resopt.Efficiency.pp e
+  in
+  Cmd.v (Cmd.info "bounds" ~doc)
+    Term.(
+      const run $ workload_arg $ m_arg $ bytes_arg $ map_term $ topo_term
+      $ cache_term $ obs_term)
 
 let bench_compare_cmd =
   let doc =
@@ -1089,4 +1182,4 @@ let () =
   Obs.set_clock Unix.gettimeofday;
   let doc = "Optimize residual communications of affine loop nests (Dion, Randriamaro, Robert 1996)." in
   let info = Cmd.info "resopt-cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; graph_cmd; codegen_cmd; parse_cmd; compile_cmd; report_cmd; fuzz_cmd; autodim_cmd; spmd_cmd; simulate_cmd; sweep_cmd; search_cmd; chaos_cmd; bench_compare_cmd; profile_cmd; serve_cmd; loadgen_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; graph_cmd; codegen_cmd; parse_cmd; compile_cmd; report_cmd; fuzz_cmd; autodim_cmd; spmd_cmd; simulate_cmd; sweep_cmd; search_cmd; chaos_cmd; bounds_cmd; bench_compare_cmd; profile_cmd; serve_cmd; loadgen_cmd ]))

@@ -1,0 +1,208 @@
+open Linalg
+
+type volume = {
+  flows : int;
+  flow_rank : int;
+  cells : int;
+  nprocs : int;
+  cap : int;
+  orbits : int;
+  longest_orbit : int;
+  bound_bytes : int;
+  achieved_bytes : int;
+  per_proc_bound : int;
+}
+
+let ceil_div a b = if b <= 0 then 0 else (a + b - 1) / b
+
+(* Row-major index of a coordinate in the box. *)
+let index_of vgrid v =
+  let idx = ref 0 in
+  Array.iteri (fun d extent -> idx := (!idx * extent) + v.(d)) vgrid;
+  !idx
+
+let pos_mod a n = ((a mod n) + n) mod n
+
+let volume ~vgrid ?offset ~bytes ~place flows =
+  let dims = Array.length vgrid in
+  let offset = match offset with Some o -> o | None -> Array.make dims 0 in
+  let n = Array.fold_left ( * ) 1 vgrid in
+  (* enumerate the cells once: coordinates and placement per index *)
+  let coords = Array.make (max n 1) [||] in
+  let owner = Array.make (max n 1) 0 in
+  let i = ref 0 in
+  Machine.Patterns.iter_box vgrid (fun v ->
+      coords.(!i) <- Array.copy v;
+      owner.(!i) <- place v;
+      incr i);
+  (* balance of the given placement: cells per processor *)
+  let counts = Hashtbl.create 64 in
+  Array.iteri
+    (fun idx p ->
+      if idx < n then
+        Hashtbl.replace counts p (1 + Option.value ~default:0 (Hashtbl.find_opt counts p)))
+    owner;
+  let nprocs = if n = 0 then 0 else Hashtbl.length counts in
+  let cap = Hashtbl.fold (fun _ c acc -> max c acc) counts 0 in
+  let orbits = ref 0 and longest = ref 0 in
+  let bound_msgs = ref 0 and achieved_msgs = ref 0 in
+  let flow_rank = ref 0 in
+  List.iter
+    (fun flow ->
+      if Mat.rows flow <> dims || Mat.cols flow <> dims then
+        invalid_arg "Bounds.volume: flow shape does not match vgrid";
+      flow_rank := max !flow_rank (Mat.rank (Mat.sub flow (Mat.identity dims)));
+      (* successor of each cell under v -> F v + offset (mod vgrid) *)
+      let succ = Array.make (max n 1) 0 in
+      for idx = 0 to n - 1 do
+        let w = Mat.mul_vec flow coords.(idx) in
+        Array.iteri (fun d x -> w.(d) <- pos_mod (x + offset.(d)) vgrid.(d)) w;
+        succ.(idx) <- index_of vgrid w;
+        if owner.(idx) <> owner.(succ.(idx)) then incr achieved_msgs
+      done;
+      (* orbit decomposition: an orbit of length L needs at least
+         ceil(L / cap) processors under any placement with at most
+         [cap] cells each, hence at least that many color changes *)
+      let visited = Bytes.make (max n 1) '\000' in
+      for start = 0 to n - 1 do
+        if Bytes.get visited start = '\000' then begin
+          incr orbits;
+          let len = ref 0 in
+          let idx = ref start in
+          while Bytes.get visited !idx = '\000' do
+            Bytes.set visited !idx '\001';
+            incr len;
+            idx := succ.(!idx)
+          done;
+          if !len > !longest then longest := !len;
+          if !len > cap then bound_msgs := !bound_msgs + ceil_div !len cap
+        end
+      done)
+    flows;
+  let bound_bytes = bytes * !bound_msgs in
+  {
+    flows = List.length flows;
+    flow_rank = !flow_rank;
+    cells = n;
+    nprocs;
+    cap;
+    orbits = !orbits;
+    longest_orbit = !longest;
+    bound_bytes;
+    achieved_bytes = bytes * !achieved_msgs;
+    per_proc_bound = ceil_div bound_bytes nprocs;
+  }
+
+type time = {
+  serial_lb : int;
+  link_lb : int;
+  hops_lb : int;
+  bound_time : float;
+  achieved : Machine.Netsim.stats;
+  efficiency : float;
+}
+
+let transfer_time topo params msgs =
+  let open Machine in
+  let achieved = Netsim.run ~coalesce:true ~faults:Fault.none topo params msgs in
+  (* the same coalescing Netsim.run applies: one message per nonlocal
+     ordered endpoint pair, bytes summed *)
+  let coalesced =
+    List.filter
+      (fun ((src, dst), _) -> src <> dst)
+      (Volgraph.of_messages msgs)
+  in
+  if coalesced = [] then
+    {
+      serial_lb = 0;
+      link_lb = 0;
+      hops_lb = 0;
+      bound_time = 0.0;
+      achieved;
+      efficiency = 1.0;
+    }
+  else begin
+    let n = Topology.size topo in
+    let nodes = Topology.nodes topo in
+    let links = Topology.links topo in
+    (* per-node incident-link summary: count and max capacity *)
+    let deg = Array.make nodes 0 in
+    let cmax = Array.make nodes 1 in
+    let cmax_global = ref 1 in
+    List.iter
+      (fun ((u, v), cap) ->
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1;
+        cmax.(u) <- max cmax.(u) cap;
+        cmax.(v) <- max cmax.(v) cap;
+        cmax_global := max !cmax_global cap)
+      links;
+    (* serial: distinct peers per node — exactly Netsim's serial term
+       on the coalesced multiset *)
+    let send = Array.make n 0 and recv = Array.make n 0 in
+    (* injection/ejection load sums, in link-load units *)
+    let inj = Array.make n 0 and ej = Array.make n 0 in
+    let hops_lb = ref 0 in
+    let total_weighted = ref 0 in
+    let half = n / 2 in
+    let cut_bytes_load = ref 0 in
+    List.iter
+      (fun ((src, dst), bytes) ->
+        send.(src) <- send.(src) + 1;
+        recv.(dst) <- recv.(dst) + 1;
+        inj.(src) <- inj.(src) + ceil_div bytes cmax.(src);
+        ej.(dst) <- ej.(dst) + ceil_div bytes cmax.(dst);
+        let d = Topology.distance topo ~src ~dst in
+        if d > !hops_lb then hops_lb := d;
+        total_weighted := !total_weighted + (d * ceil_div bytes !cmax_global);
+        if src < half <> (dst < half) then
+          cut_bytes_load := !cut_bytes_load + ceil_div bytes !cmax_global)
+      coalesced;
+    let serial_lb =
+      max (Array.fold_left max 0 send) (Array.fold_left max 0 recv)
+    in
+    let link_lb = ref 0 in
+    for r = 0 to n - 1 do
+      if deg.(r) > 0 then begin
+        link_lb := max !link_lb (ceil_div inj.(r) deg.(r));
+        link_lb := max !link_lb (ceil_div ej.(r) deg.(r))
+      end
+    done;
+    (* bisection-style cut, sound only when every vertex is a host
+       (switchless topologies): a message between the halves must
+       cross a half-crossing link *)
+    if nodes = n then begin
+      let crossing =
+        List.length
+          (List.filter (fun ((u, v), _) -> u < half <> (v < half)) links)
+      in
+      if crossing > 0 then
+        link_lb := max !link_lb (ceil_div !cut_bytes_load (2 * crossing))
+    end;
+    (* distance-weighted average over all directed links *)
+    let nlinks = List.length links in
+    if nlinks > 0 then
+      link_lb := max !link_lb (ceil_div !total_weighted (2 * nlinks));
+    let bound_time =
+      (params.Netsim.alpha *. float_of_int serial_lb)
+      +. (params.Netsim.beta *. float_of_int !link_lb)
+      +. (params.Netsim.hop *. float_of_int !hops_lb)
+    in
+    let efficiency =
+      if achieved.Netsim.time > 0.0 then bound_time /. achieved.Netsim.time
+      else 1.0
+    in
+    {
+      serial_lb;
+      link_lb = !link_lb;
+      hops_lb = !hops_lb;
+      bound_time;
+      achieved;
+      efficiency;
+    }
+  end
+
+let bar ?(width = 20) eff =
+  let eff = Float.min 1.0 (Float.max 0.0 eff) in
+  let filled = int_of_float (Float.round (eff *. float_of_int width)) in
+  "[" ^ String.make filled '#' ^ String.make (width - filled) '-' ^ "]"

@@ -1,0 +1,124 @@
+(** Communication lower bounds for affine residual flows.
+
+    Every benchmark in this repository reports "faster than the naive
+    plan"; this module supplies the ground truth the north star needs —
+    "how close to optimal" — in the spirit of the HBL lower-bound line
+    of work (Christ–Demmel–Knight–Scanlon–Yelick, and Dinh–Demmel's
+    projective-nested-loop tilings): computable per-workload
+    communication lower bounds for exactly the affine array-reference
+    programs the pipeline parses.
+
+    Two bounds are computed, both {e provable} against what the rest of
+    the system actually measures, so achieved-vs-bound efficiencies are
+    guaranteed to land in [(0, 1]]:
+
+    {2 Volume bound ({!volume})}
+
+    A residual flow [F] (a unimodular data-flow matrix) makes virtual
+    cell [v] send its item to [F v + offset], taken modulo the virtual
+    grid — a {e permutation} of the cells.  Decompose that permutation
+    into orbits (cycles).  Any placement that assigns at most [cap]
+    cells per processor must color an orbit of length [L] with at least
+    [ceil(L / cap)] distinct processors, and a cycle through [c >= 2]
+    distinct colors crosses a color boundary at least [c] times; each
+    crossing is one nonlocal message.  Summed over orbits and flows and
+    scaled by the item size, this is a lower bound on the nonlocal
+    bytes of {e every} placement at most as balanced as the given one —
+    the paper's cyclic fold included, which is how
+    [bound_bytes <= achieved_bytes] holds by construction.  The
+    HBL-style classifier [rank(F - I)] (0 = identity, fully local;
+    1 = shear, a one-dimensional family; full rank = complete mix) and
+    the memory-independent per-processor bound
+    [ceil(bound_bytes / nprocs)] ride along.
+
+    {2 Transfer-time bound ({!transfer_time})}
+
+    For a concrete message multiset on a concrete {!Machine.Topology},
+    each component of {!Machine.Netsim}'s price
+    [alpha * serial + beta * max_link_load + hop * max_hops] is bounded
+    from below by a quantity no routing or scheduling can beat:
+    - [serial_lb]: the maximum number of distinct peers any single
+      node must send to or receive from (ports are serial) — equal to
+      Netsim's serial term on the same coalesced multiset;
+    - [link_lb]: the largest of (a) per-node injection/ejection
+      pigeonhole — a node's traffic leaves over its incident links,
+      divided by their count, each load at least [bytes / max
+      incident capacity]; (b) on switchless topologies, the
+      host-bipartition (bisection-style) cut — bytes that must cross
+      the halves over the crossing links; (c) the distance-weighted
+      average — every message loads at least [distance] links, spread
+      over all directed links;
+    - [hops_lb]: the topology's minimal route length of the farthest
+      message — no route, detours included, is shorter.
+
+    The resulting [bound_time] is positive whenever any nonlocal
+    message exists, and never exceeds the achieved Netsim time, so
+    [efficiency = bound_time / achieved_time] is in [(0, 1]] (1.0 when
+    there is no traffic at all).
+
+    The module is dependency-free beyond [linalg] and [machine]; the
+    placement arrives as a plain function, so nothing here depends on
+    the distribution or pipeline layers.  Note {!transfer_time} prices
+    the achieved side through {!Machine.Netsim.run}: callers that keep
+    a telemetry sink enabled will see that pricing recorded as a run. *)
+
+type volume = {
+  flows : int;  (** number of residual flows folded into the bound *)
+  flow_rank : int;
+      (** max over flows of [rank(F - I)]: 0 = fully local, full rank
+          = complete mix — the HBL-style access classifier *)
+  cells : int;  (** virtual cells enumerated *)
+  nprocs : int;  (** processors the placement actually uses *)
+  cap : int;  (** max cells per processor under the given placement *)
+  orbits : int;  (** orbit count of the flow permutations, all flows *)
+  longest_orbit : int;
+  bound_bytes : int;
+      (** lower bound on nonlocal bytes for every placement at most as
+          balanced as the given one *)
+  achieved_bytes : int;  (** nonlocal bytes under the given placement *)
+  per_proc_bound : int;
+      (** memory-independent bound: [ceil(bound_bytes / nprocs)] *)
+}
+
+val volume :
+  vgrid:int array ->
+  ?offset:int array ->
+  bytes:int ->
+  place:(int array -> int) ->
+  Linalg.Mat.t list ->
+  volume
+(** [volume ~vgrid ~bytes ~place flows] — orbit-decompose each flow's
+    permutation of the wrapped [vgrid] and accumulate the cycle-packing
+    bound against the placement's balance.  [offset] (default all
+    zero) translates destinations, matching
+    {!Machine.Patterns.affine_messages}.
+    @raise Invalid_argument when a flow's shape does not match
+    [vgrid]. *)
+
+type time = {
+  serial_lb : int;
+  link_lb : int;
+  hops_lb : int;
+  bound_time : float;
+      (** [alpha * serial_lb + beta * link_lb + hop * hops_lb]; 0.0
+          when there is no nonlocal traffic *)
+  achieved : Machine.Netsim.stats;
+      (** the fault-free Netsim price of the same multiset *)
+  efficiency : float;
+      (** [bound_time / achieved.time], in [(0, 1]]; 1.0 when there is
+          no traffic *)
+}
+
+val transfer_time :
+  Machine.Topology.t ->
+  Machine.Netsim.params ->
+  Machine.Message.t list ->
+  time
+(** Bound and price the given messages (locals are ignored, the rest
+    coalesced per endpoint pair exactly as {!Machine.Netsim.run}
+    does). *)
+
+val bar : ?width:int -> float -> string
+(** [bar eff] renders an efficiency in [[0, 1]] as an ASCII gauge,
+    e.g. ["[#########-----------]"] ([width] cells wide, default
+    20). *)

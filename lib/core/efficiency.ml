@@ -1,0 +1,70 @@
+type t = {
+  vgrid : int array;
+  volume : Bounds.volume;
+  time : Bounds.time;
+}
+
+let default_bytes = 64
+
+let of_flows ?(bytes = default_bytes) ?mapping (model : Machine.Models.t) flows
+    =
+  match Cost.sim_vgrid model with
+  | None -> None
+  | Some vgrid ->
+    let topo = model.Machine.Models.topo in
+    let layout = Distrib.Layout.all_cyclic 2 in
+    let place v = Distrib.Layout.place layout ~vgrid ~topo v in
+    let volume = Bounds.volume ~vgrid ~bytes ~place flows in
+    let msgs =
+      List.concat_map
+        (fun flow ->
+          Machine.Patterns.affine_messages ~vgrid ~flow ~bytes ~place ())
+        flows
+    in
+    let msgs =
+      match mapping with
+      | None -> msgs
+      | Some spec ->
+        let vol = Residual.volume_graph ~vgrid ~bytes ~place flows in
+        Mapping.apply (Mapping.compute spec topo vol) msgs
+    in
+    let time = Bounds.transfer_time topo model.Machine.Models.net msgs in
+    if Obs.enabled () then begin
+      Obs.incr "bounds.computed";
+      Obs.incr ~by:volume.Bounds.bound_bytes "bounds.bound_bytes";
+      Obs.incr ~by:volume.Bounds.achieved_bytes "bounds.achieved_bytes";
+      Obs.observe "bounds.efficiency" time.Bounds.efficiency;
+      Obs.set_gauge "bounds.last_efficiency" time.Bounds.efficiency
+    end;
+    Some { vgrid; volume; time }
+
+let of_plan ?bytes ?mapping model plan =
+  of_flows ?bytes ?mapping model (Residual.flows_of_plan plan)
+
+let of_workload ?bytes ?mapping ~m model w =
+  of_flows ?bytes ?mapping model (Residual.flows_of_workload ~m w)
+
+let pp ppf t =
+  let v = t.volume and tm = t.time in
+  Format.fprintf ppf "  vgrid %s  procs %d  cap %d  flows %d  rank(F-I) %d@\n"
+    (String.concat "x" (Array.to_list (Array.map string_of_int t.vgrid)))
+    v.Bounds.nprocs v.Bounds.cap v.Bounds.flows v.Bounds.flow_rank;
+  Format.fprintf ppf
+    "  volume bound   %8d B    achieved %8d B    per-proc >= %d B@\n"
+    v.Bounds.bound_bytes v.Bounds.achieved_bytes v.Bounds.per_proc_bound;
+  Format.fprintf ppf
+    "  orbits %d (longest %d of %d cells)@\n"
+    v.Bounds.orbits v.Bounds.longest_orbit v.Bounds.cells;
+  let a = tm.Bounds.achieved in
+  Format.fprintf ppf
+    "  time bound: serial >= %-6d (got %d)   link load >= %-6d (got %d)   hops >= %d (got %d)@\n"
+    tm.Bounds.serial_lb
+    (max a.Machine.Netsim.max_sender a.Machine.Netsim.max_receiver)
+    tm.Bounds.link_lb
+    a.Machine.Netsim.max_link_load tm.Bounds.hops_lb
+    a.Machine.Netsim.max_hops;
+  Format.fprintf ppf "  transfer time  %10.1f  bound %10.1f@\n"
+    a.Machine.Netsim.time tm.Bounds.bound_time;
+  Format.fprintf ppf "  efficiency %.3f %s %.1f%%@\n" tm.Bounds.efficiency
+    (Bounds.bar tm.Bounds.efficiency)
+    (100.0 *. tm.Bounds.efficiency)

@@ -1,0 +1,67 @@
+(** Achieved-vs-bound efficiency of a plan's residual traffic.
+
+    The workload-facing glue over {!Bounds}: materialize a plan's
+    residual flows on the machine model's simulation grid (the same
+    cyclic fold {!Cost} prices and the mapping layer searches), compute
+    the volume and transfer-time lower bounds, and price the achieved
+    side — one record that every observability surface (sweep column,
+    [report --net] panel, [bounds] subcommand, serve stats, bench)
+    renders from.
+
+    [None] whenever the model's topology has no 2-D host grid
+    ({!Cost.sim_vgrid}): the residual flows are 2x2, so there is
+    nothing to bound (the t3d rows of a sweep render ["-"]).
+
+    When {!Obs} is enabled, every computation feeds the [bounds.*]
+    counters ([bounds.computed], [bounds.bound_bytes],
+    [bounds.achieved_bytes]), the [bounds.efficiency] histogram and
+    the [bounds.last_efficiency] gauge. *)
+
+type t = {
+  vgrid : int array;  (** the simulation grid the flows were folded on *)
+  volume : Bounds.volume;
+  time : Bounds.time;
+}
+
+val default_bytes : int
+(** 64, matching {!Cost.of_plan}. *)
+
+val of_flows :
+  ?bytes:int ->
+  ?mapping:Mapping.spec ->
+  Machine.Models.t ->
+  Linalg.Mat.t list ->
+  t option
+(** Fold the flows on the model's simulation grid under the cyclic
+    layout and bound them.  [mapping] re-prices the achieved side (and
+    the placement-dependent time bound) under the searched process
+    placement — the volume bound is placement-independent, so
+    [volume.bound_bytes <= volume.achieved_bytes] holds either way. *)
+
+val of_plan :
+  ?bytes:int ->
+  ?mapping:Mapping.spec ->
+  Machine.Models.t ->
+  Commplan.t ->
+  t option
+(** {!of_flows} over {!Residual.flows_of_plan}.  A plan with no
+    residual 2x2 flows bounds an empty traffic set: zero bytes both
+    sides, efficiency 1.0. *)
+
+val of_workload :
+  ?bytes:int ->
+  ?mapping:Mapping.spec ->
+  m:int ->
+  Machine.Models.t ->
+  Workloads.t ->
+  t option
+(** {!of_flows} over {!Residual.flows_of_workload} (which falls back
+    to the paper's running-example flow when the pipeline leaves
+    none). *)
+
+val pp : Format.formatter -> t -> unit
+(** The ASCII bounds panel: volume bound vs achieved bytes, the three
+    time-bound components against their achieved counterparts, and the
+    efficiency gauge.  Ends with a line of the form
+    ["efficiency 0.729 \[...\] 72.9%"] — the line the CI smoke gate
+    parses. *)

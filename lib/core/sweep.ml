@@ -10,6 +10,7 @@ type row = {
   cost_ms : float;
   resilience : (float * float) list;
   map_gain : float option;
+  eff : float option;
 }
 
 (* The fault model priced at one resilience rate: the caller's base
@@ -33,7 +34,7 @@ let profile_task label f =
    [sweep.time_ms] histogram — stamping the same measurement into
    every model row used to triple-count it; per-model pricing gets its
    own clock ([cost_ms] / [sweep.cost_ms]). *)
-let eval_cell models fault_rates mapping (w : Workloads.t) m =
+let eval_cell models fault_rates mapping bounds (w : Workloads.t) m =
   profile_task (fun () ->
       Printf.sprintf "cell:%s:m=%d" w.Workloads.name m)
   @@ fun () ->
@@ -90,6 +91,17 @@ let eval_cell models fault_rates mapping (w : Workloads.t) m =
               if mapped > 0.0 then optimized /. mapped else 1.0)
             mapping
         in
+        (* achieved-vs-bound transfer-time efficiency of the optimized
+           plan's residual traffic ({!Efficiency}); None when bounds
+           were not requested or the model has no 2-D simulation
+           grid *)
+        let eff =
+          if bounds then
+            Option.map
+              (fun e -> e.Efficiency.time.Bounds.efficiency)
+              (Efficiency.of_plan ?mapping model opt.Pipeline.plan)
+          else None
+        in
         let row =
           {
             workload = w.Workloads.name;
@@ -103,6 +115,7 @@ let eval_cell models fault_rates mapping (w : Workloads.t) m =
             cost_ms;
             resilience;
             map_gain;
+            eff;
           }
         in
         (* counter snapshot of the cell, for `--stats` and the
@@ -118,7 +131,7 @@ let eval_cell models fault_rates mapping (w : Workloads.t) m =
 let default_fault_rates = [ 0.0; 0.01; 0.05 ]
 
 let run ?jobs ?(ms = [ 2 ]) ?models ?workloads ?faults ?fault_rates ?cache
-    ?mapping () =
+    ?mapping ?(bounds = false) () =
   Cache.scoped ?enable:cache @@ fun () ->
   let models =
     match models with
@@ -137,7 +150,7 @@ let run ?jobs ?(ms = [ 2 ]) ?models ?workloads ?faults ?fault_rates ?cache
   let cells =
     List.concat_map (fun w -> List.map (fun m -> (w, m)) ms) workloads
   in
-  let eval (w, m) = eval_cell models fault_rates mapping w m in
+  let eval (w, m) = eval_cell models fault_rates mapping bounds w m in
   match jobs with
   | None -> List.concat_map eval cells
   | Some j ->
@@ -153,6 +166,10 @@ let rates_of rows =
 let has_map_gain rows =
   match rows with r :: _ -> r.map_gain <> None | [] -> false
 
+(* present as soon as any row carries one: bounds sweeps with only
+   grid-less models (t3d) keep today's table *)
+let has_eff rows = List.exists (fun r -> r.eff <> None) rows
+
 let pp_table ppf rows =
   let rates = rates_of rows in
   Format.fprintf ppf "%-12s %2s %-8s %12s %12s %8s %6s %9s %9s" "workload" "m"
@@ -161,6 +178,8 @@ let pp_table ppf rows =
     (fun rate -> Format.fprintf ppf " %8s" (Printf.sprintf "g@%g%%" (rate *. 100.0)))
     rates;
   if has_map_gain rows then Format.fprintf ppf " %8s" "gain_map";
+  let eff_col = has_eff rows in
+  if eff_col then Format.fprintf ppf " %8s" "eff";
   Format.fprintf ppf "@.";
   List.iter
     (fun r ->
@@ -170,6 +189,10 @@ let pp_table ppf rows =
         r.validated r.time_ms r.cost_ms;
       List.iter (fun (_, g) -> Format.fprintf ppf " %7.2fx" g) r.resilience;
       Option.iter (fun g -> Format.fprintf ppf " %7.2fx" g) r.map_gain;
+      if eff_col then
+        (match r.eff with
+        | Some e -> Format.fprintf ppf " %8.3f" e
+        | None -> Format.fprintf ppf " %8s" "-");
       Format.fprintf ppf "@.")
     rows
 
@@ -181,6 +204,8 @@ let to_csv rows =
     (fun rate -> Buffer.add_string buf (Printf.sprintf ",gain_fault_%g" rate))
     rates;
   if has_map_gain rows then Buffer.add_string buf ",gain_map";
+  let eff_col = has_eff rows in
+  if eff_col then Buffer.add_string buf ",efficiency";
   Buffer.add_char buf '\n';
   List.iter
     (fun r ->
@@ -195,6 +220,9 @@ let to_csv rows =
       Option.iter
         (fun g -> Buffer.add_string buf (Printf.sprintf ",%.6f" g))
         r.map_gain;
+      if eff_col then
+        Buffer.add_string buf
+          (match r.eff with Some e -> Printf.sprintf ",%.6f" e | None -> ",");
       Buffer.add_char buf '\n')
     rows;
   Buffer.contents buf
@@ -221,11 +249,20 @@ let metrics rows =
       (Printf.sprintf "%s.gain" name, (if opt > 0.0 then base /. opt else 0.0));
       (Printf.sprintf "%s.optimized_cost" name, opt);
     ]
+    @ (match mapped with
+      | Some m when rs <> [] ->
+        [ (Printf.sprintf "%s.map_gain" name, if m > 0.0 then opt /. m else 1.0) ]
+      | _ -> [])
     @
-    match mapped with
-    | Some m when rs <> [] ->
-      [ (Printf.sprintf "%s.map_gain" name, if m > 0.0 then opt /. m else 1.0) ]
-    | _ -> []
+    (* mean achieved-vs-bound efficiency over the rows that carry one
+       — deterministic, so safe to gate on in bench comparisons *)
+    match List.filter_map (fun r -> r.eff) rs with
+    | [] -> []
+    | effs ->
+      [
+        ( Printf.sprintf "%s.efficiency" name,
+          List.fold_left ( +. ) 0.0 effs /. float_of_int (List.length effs) );
+      ]
   in
   (("rows", float_of_int (List.length rows))
    :: ( "validated",

@@ -40,6 +40,13 @@ type row = {
           residual flows, or a local optimum at identity); [None]
           unless the sweep was given [mapping], in which case rows
           render and CSV exactly as before. *)
+  eff : float option;
+      (** achieved-vs-bound transfer-time efficiency of the optimized
+          plan's residual traffic on this row's machine model
+          ({!Efficiency.of_plan}), in [(0, 1]].  [None] unless the
+          sweep was run with [bounds], or when the model has no 2-D
+          simulation grid (t3d) — rows without it render and CSV
+          exactly as before. *)
 }
 
 val default_fault_rates : float list
@@ -55,6 +62,7 @@ val run :
   ?fault_rates:float list ->
   ?cache:bool ->
   ?mapping:Mapping.spec ->
+  ?bounds:bool ->
   unit ->
   row list
 (** Defaults: [ms = [2]], all three machine models, all workloads.
@@ -76,6 +84,14 @@ val run :
     still diffs clean across runs and job counts; omitting [mapping]
     keeps the rows, the table and the CSV byte-identical to a
     mapping-free sweep.
+
+    [bounds] additionally computes the communication lower bound of
+    every optimized plan's residual traffic and fills the rows' [eff]
+    — the new [eff] table / CSV column (achieved-vs-bound transfer
+    time, {!Efficiency}).  Bounds are deterministic, so the CSV still
+    diffs clean across runs and job counts; omitting [bounds] (or
+    passing [false]) keeps the rows, the table and the CSV
+    byte-identical to a bounds-free sweep.
 
     [cache] scopes {!Cache} around the whole sweep ([true] memoizes
     the linear-algebra solves and per-cell pricing, [false] forces the
@@ -110,7 +126,9 @@ val to_csv : row list -> string
     rate is appended after [validated]; fault pricing is deterministic
     for a given seed + spec, so the CSV still diffs clean across
     repeated runs and job counts.  When the rows carry mapping data, a
-    [gain_map] column is appended last, same determinism contract. *)
+    [gain_map] column is appended last, same determinism contract.
+    When any row carries an efficiency, an [efficiency] column is
+    appended after that (empty cells for grid-less models). *)
 
 val metrics : row list -> (string * float) list
 (** Deterministic aggregates of a sweep for benchmark recording
@@ -118,5 +136,6 @@ val metrics : row list -> (string * float) list
     machine model, the aggregate gain (summed baseline over summed
     optimized cost) and the summed optimized cost — plus, when the
     sweep ran with [mapping], the aggregate [map_gain] (summed
-    unmapped over summed mapped optimized cost).  No timing fields,
-    so the values are stable across runs and [jobs] levels. *)
+    unmapped over summed mapped optimized cost) and, when it ran with
+    [bounds], the mean achieved-vs-bound [efficiency].  No timing
+    fields, so the values are stable across runs and [jobs] levels. *)

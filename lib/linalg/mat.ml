@@ -166,6 +166,40 @@ let det m =
   | Some d -> d
   | None -> !sign * a.(n - 1).(n - 1)
 
+let rank m =
+  (* Fraction-free (Bareiss) elimination with row and column pivoting:
+     the number of pivots found is the rank over the rationals.  Exact
+     integer arithmetic throughout — no tolerance to tune. *)
+  let a = to_arrays m in
+  let rows = m.r and cols = m.c in
+  let rank = ref 0 in
+  let prev = ref 1 in
+  let col = ref 0 in
+  while !rank < rows && !col < cols do
+    let p = ref (-1) in
+    for i = !rank to rows - 1 do
+      if !p = -1 && a.(i).(!col) <> 0 then p := i
+    done;
+    if !p = -1 then incr col
+    else begin
+      let tmp = a.(!rank) in
+      a.(!rank) <- a.(!p);
+      a.(!p) <- tmp;
+      for i = !rank + 1 to rows - 1 do
+        for j = !col + 1 to cols - 1 do
+          a.(i).(j) <-
+            ((a.(i).(j) * a.(!rank).(!col)) - (a.(i).(!col) * a.(!rank).(j)))
+            / !prev
+        done;
+        a.(i).(!col) <- 0
+      done;
+      prev := a.(!rank).(!col);
+      incr rank;
+      incr col
+    end
+  done;
+  !rank
+
 let trace m =
   if not (is_square m) then invalid_arg "Mat.trace: non-square";
   let acc = ref 0 in

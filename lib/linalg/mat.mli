@@ -70,6 +70,12 @@ val det : t -> int
 (** Exact determinant via fraction-free Bareiss elimination.
     @raise Invalid_argument on non-square input. *)
 
+val rank : t -> int
+(** Rank over the rationals, by fraction-free (Bareiss) elimination
+    with row and column pivoting — exact integer arithmetic, any
+    shape.  [rank (sub f (identity n))] classifies an affine data
+    flow: 0 = identity (fully local), [n] = full mix. *)
+
 val trace : t -> int
 (** @raise Invalid_argument on non-square input. *)
 

@@ -355,18 +355,41 @@ let ends_with suffix s =
   let ns = String.length s and nf = String.length suffix in
   ns >= nf && String.sub s (ns - nf) nf = suffix
 
+(* Explicit per-metric directions, matched on the last dotted segment
+   of the name and consulted before the substring heuristic below —
+   the place to pin a metric the heuristic would misread.  An
+   [efficiency] drop is a regression the gate must fail on; the bounds
+   themselves ([bound_bytes], [bound_time]) may legitimately move in
+   either direction (tightening a bound raises it), so they stay
+   informational, as do the achieved bytes they are compared to. *)
+let explicit_directions =
+  [
+    ("efficiency", Higher_better);
+    ("bound_bytes", Informational);
+    ("bound_time", Informational);
+    ("achieved_bytes", Informational);
+  ]
+
 let direction_of_metric name =
   let name = String.lowercase_ascii name in
-  let higher = [ "speedup"; "gain"; "ratio"; "per_sec"; "cells"; "delivered" ] in
-  let lower =
-    [ "seconds"; "cycles"; "time"; "dropped"; "retrans"; "wait"; "cost" ]
+  let last_segment =
+    match String.rindex_opt name '.' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
   in
-  if List.exists (contains name) higher then Higher_better
-  else if
-    List.exists (contains name) lower
-    || List.exists (fun sfx -> ends_with sfx name) [ "_s"; "_ms"; "_us" ]
-  then Lower_better
-  else Informational
+  match List.assoc_opt last_segment explicit_directions with
+  | Some d -> d
+  | None ->
+    let higher = [ "speedup"; "gain"; "ratio"; "per_sec"; "cells"; "delivered" ] in
+    let lower =
+      [ "seconds"; "cycles"; "time"; "dropped"; "retrans"; "wait"; "cost" ]
+    in
+    if List.exists (contains name) higher then Higher_better
+    else if
+      List.exists (contains name) lower
+      || List.exists (fun sfx -> ends_with sfx name) [ "_s"; "_ms"; "_us" ]
+    then Lower_better
+    else Informational
 
 type verdict =
   | Pass

@@ -78,10 +78,14 @@ val load_metrics : ?experiment:string -> string -> (string * float) list
 type direction = Lower_better | Higher_better | Informational
 
 val direction_of_metric : string -> direction
-(** Heuristic from the metric name: speedups/gains/throughputs are
-    higher-better; times/cycles/drops are lower-better; anything
-    unrecognized is informational (presence checked, value not
-    gated). *)
+(** From the metric name.  An explicit table on the name's last dotted
+    segment wins: [efficiency] is higher-better (an efficiency drop
+    fails the gate), while [bound_bytes] / [bound_time] /
+    [achieved_bytes] are informational (tightening a lower bound
+    raises it — that must never read as a regression).  Otherwise the
+    heuristic applies: speedups/gains/throughputs are higher-better;
+    times/cycles/drops are lower-better; anything unrecognized is
+    informational (presence checked, value not gated). *)
 
 type verdict =
   | Pass

@@ -340,22 +340,25 @@ let run_json run =
     (String.concat "," (List.map message_json (bounded run.messages)))
     (String.concat "," (List.map event_json (bounded run.events)))
 
-let render_html runs =
+let render_html ?extra runs =
   let payload =
     "{\"runs\":[" ^ String.concat "," (List.map run_json runs) ^ "]}"
   in
   String.concat "\n"
-    [
-      "<!DOCTYPE html>";
-      "<html><head><meta charset=\"utf-8\"><title>resopt telemetry</title>";
-      "<style>";
-      "body{font-family:ui-monospace,monospace;margin:20px;background:#16181d;color:#d8dee9}";
-      "h1{font-size:18px} h2{font-size:14px;margin:18px 0 6px}";
-      "table{border-collapse:collapse;margin:6px 0} td,th{border:1px solid #3b4252;padding:2px 8px;font-size:12px;text-align:right}";
-      "th{background:#242933} .lbl{text-align:left} canvas{background:#0d0f12;border:1px solid #3b4252;margin:4px 0}";
-      ".bar{display:inline-block;background:#5e81ac;height:10px}";
-      "</style></head><body>";
-      "<h1>resopt network telemetry</h1>";
+    ([
+       "<!DOCTYPE html>";
+       "<html><head><meta charset=\"utf-8\"><title>resopt telemetry</title>";
+       "<style>";
+       "body{font-family:ui-monospace,monospace;margin:20px;background:#16181d;color:#d8dee9}";
+       "h1{font-size:18px} h2{font-size:14px;margin:18px 0 6px}";
+       "table{border-collapse:collapse;margin:6px 0} td,th{border:1px solid #3b4252;padding:2px 8px;font-size:12px;text-align:right}";
+       "th{background:#242933} .lbl{text-align:left} canvas{background:#0d0f12;border:1px solid #3b4252;margin:4px 0}";
+       ".bar{display:inline-block;background:#5e81ac;height:10px}";
+       "</style></head><body>";
+       "<h1>resopt network telemetry</h1>";
+     ]
+    @ (match extra with None -> [] | Some html -> [ html ])
+    @ [
       "<div id=\"root\"></div>";
       "<script type=\"application/json\" id=\"telemetry-data\">" ^ payload
       ^ "</script>";
@@ -417,4 +420,4 @@ let render_html runs =
       "  root.appendChild(sec);";
       "});";
       "</script></body></html>";
-    ]
+    ])

@@ -123,8 +123,12 @@ val run_json : run -> string
 (** One run as a self-contained JSON object (summary percentiles
     included) — the payload embedded in the HTML dashboard. *)
 
-val render_html : run list -> string
+val render_html : ?extra:string -> run list -> string
 (** A single-file HTML dashboard over the given runs: the JSON payload
     is embedded in a [<script type="application/json"
     id="telemetry-data">] block (parseable on its own) and rendered by
-    inline JavaScript — no external assets, openable from disk. *)
+    inline JavaScript — no external assets, openable from disk.
+    [extra] is a caller-supplied HTML fragment inserted right under
+    the page title (the [report --net --bounds] efficiency panel);
+    omitting it produces byte-identical output to before the parameter
+    existed. *)

@@ -247,6 +247,27 @@ let mirror_counters t =
   Obs.incr ~by:(co - co') "serve.coalesced";
   t.mirrored <- now
 
+(* Achieved-vs-bound efficiency of the workloads this server has
+   solved, for the stats answer.  Solver thread only; memoized per
+   (workload, m) — the bound is fault- and placement-independent here
+   (reference machine, fixed embedding), so repeated solves of the
+   same pair feed the bounds.* counters exactly once. *)
+let eff_memo : (string * int, unit) Hashtbl.t = Hashtbl.create 16
+
+let observe_bounds (req : Wire.request) =
+  let key = (req.Wire.workload, req.Wire.m) in
+  if not (Hashtbl.mem eff_memo key) then
+    match Resopt.Workloads.find req.Wire.workload with
+    | exception Not_found -> ()
+    | w ->
+      Hashtbl.add eff_memo key ();
+      (try
+         ignore
+           (Resopt.Efficiency.of_workload ~m:req.Wire.m
+              (Machine.Models.paragon ()) w
+             : Resopt.Efficiency.t option)
+       with _ -> ())
+
 let render_stats t =
   let requests, ok, errors, shed, timeout, coalesced = read_counters t in
   let cs = Cache.stats () in
@@ -265,6 +286,15 @@ let render_stats t =
     line "latency_ms_p95=%.3f" p95;
     line "latency_ms_p99=%.3f" p99
   | None -> ());
+  line "bounds_computed=%d" (Obs.counter "bounds.computed");
+  (match Obs.histogram "bounds.efficiency" with
+  | Some h when h.Obs.count > 0 ->
+    line "bounds_eff_mean=%.3f" (h.Obs.sum /. float_of_int h.Obs.count);
+    line "bounds_eff_min=%.3f" h.Obs.min_v
+  | _ -> ());
+  (match Obs.gauge "bounds.last_efficiency" with
+  | Some g -> line "bounds_eff_last=%.3f" g
+  | None -> ());
   line "cache_hits=%d" cs.Cache.hits;
   line "cache_misses=%d" cs.Cache.misses;
   line "cache_entries=%d" cs.Cache.entries;
@@ -276,6 +306,9 @@ let solve_batch t (batch : entry list) =
   let runs, stats_es =
     List.partition (fun e -> e.req.Wire.op = Wire.Run) batch
   in
+  (* bound every solved (workload, m) once, so stats answers carry
+     efficiency next to the latency percentiles *)
+  List.iter (fun e -> observe_bounds e.req) runs;
   (* memo hits answer on the solver thread; distinct misses fan out
      over the pool (Par merges each worker's Obs/Cache capture back
      here at join, keeping the single-mutator rule intact) *)

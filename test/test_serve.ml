@@ -294,7 +294,14 @@ let test_server_repeat_and_stats () =
     in
     has "requests=";
     has "ok=";
-    has "cache_hits="
+    has "cache_hits=";
+    (* two solves went through, so the latency histogram has samples
+       and the bounds pipeline ran for (matmul, 1) *)
+    has "latency_ms_p50=";
+    has "latency_ms_p95=";
+    has "latency_ms_p99=";
+    has "bounds_computed=";
+    has "bounds_eff_last="
   | r -> Alcotest.fail ("expected stats Answer, got " ^ Wire.status r)
 
 let test_server_deadline_timeout () =
